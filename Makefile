@@ -1,0 +1,26 @@
+# Convenience targets for the reproduction.
+
+.PHONY: install test bench examples results clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# regenerate every table/figure report (and results/*.json)
+results:
+	for b in benchmarks/bench_fig*.py benchmarks/bench_table*.py \
+	         benchmarks/bench_ablation_*.py; do \
+	    echo "== $$b =="; python $$b || exit 1; \
+	done
+
+examples:
+	for e in examples/*.py; do echo "== $$e =="; python $$e || exit 1; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,82 @@
+"""Ablation A5: cache block size vs directory overhead and false sharing.
+
+§3.1: "one way of reducing the overhead of directory memory is to
+increase the cache block size.  Beyond a certain point, this is not a
+very practical approach because ... increasing the block size increases
+the chances of false-sharing and may significantly increase the
+coherence traffic."
+
+Part 1 (analytic): full-bit-vector overhead at blocks of 16/32/64/128
+bytes — overhead halves per doubling.
+
+Part 2 (simulated): MP3D, whose adjacent space cells land in the same
+block, at growing block sizes — invalidation events per shared write
+rise as neighbours false-share.
+
+Run standalone:  python benchmarks/bench_ablation_block_size.py
+"""
+
+from repro.analysis import format_table
+from repro.apps import MP3DWorkload
+from repro.core import full_vector_overhead
+from repro.machine import MachineConfig, run_workload
+
+PROCS = 16
+BLOCKS = [16, 32, 64, 128]
+
+
+def compute():
+    overheads = {b: full_vector_overhead(PROCS, b) for b in BLOCKS}
+    sims = {}
+    for b in BLOCKS:
+        wl = MP3DWorkload(
+            PROCS, num_particles=320, space_cells=64, steps=4,
+            block_bytes=b, seed=2,
+        )
+        cfg = MachineConfig(num_clusters=PROCS, block_bytes=b)
+        sims[b] = run_workload(cfg, wl)
+    return overheads, sims
+
+
+def check(overheads, sims) -> None:
+    # overhead halves as the block doubles
+    for a, b in zip(BLOCKS, BLOCKS[1:]):
+        ratio = overheads[a].overhead_fraction / overheads[b].overhead_fraction
+        assert abs(ratio - 2.0) < 0.01, (a, b)
+    # false sharing: invalidations per shared write grow with block size
+    def invals_per_write(stats):
+        writes = sum(p.writes for p in stats.procs)
+        return stats.invalidations_sent() / writes
+
+    rates = [invals_per_write(sims[b]) for b in BLOCKS]
+    assert rates[-1] > 1.3 * rates[0], rates
+
+
+def report() -> None:
+    overheads, sims = compute()
+    check(overheads, sims)
+    rows = []
+    for b in BLOCKS:
+        writes = sum(p.writes for p in sims[b].procs)
+        rows.append([
+            b,
+            round(overheads[b].overhead_percent, 2),
+            sims[b].invalidations_sent(),
+            round(sims[b].invalidations_sent() / writes, 4),
+            sims[b].total_messages,
+        ])
+    print("=== Ablation A5: block size — overhead vs false sharing (MP3D) ===")
+    print(format_table(
+        ["block B", "dir overhead %", "invals sent", "invals/write",
+         "messages"],
+        rows,
+    ))
+
+
+def test_block_size(benchmark):
+    overheads, sims = benchmark.pedantic(compute, rounds=1, iterations=1)
+    check(overheads, sims)
+
+
+if __name__ == "__main__":
+    report()

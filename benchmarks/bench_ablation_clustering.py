@@ -1,0 +1,96 @@
+"""Ablation A10: processors per cluster (the DASH design rationale, §2).
+
+DASH groups 4 processors per cluster behind a snoopy bus so references
+satisfied inside the cluster never touch the network, and the directory
+tracks clusters rather than processors (shrinking the full bit vector
+4x).  The paper's simulations use 1 processor per cluster and note the
+consequence: "the local cluster bus is under-utilized ... In a real DASH
+system, with four processors to a cluster, the cluster bus will be much
+busier."
+
+This ablation holds the processor count fixed (32) and varies the
+clustering — 32x1, 16x2, 8x4 — on a workload with locality (processors
+sharing a region are placed in the same clusters).
+
+Expected shape (asserted): network messages fall monotonically with
+clustering (intra-cluster sharing is free), the full bit vector's
+presence storage shrinks with the cluster count, and results stay
+coherent under the multi-processor bus protocol.
+
+Run standalone:  python benchmarks/bench_ablation_clustering.py
+"""
+
+from repro.analysis import format_table
+from repro.apps import MultiprogrammedWorkload
+from repro.core import make_scheme
+from repro.machine import MachineConfig, run_workload
+
+PROCESSORS = 32
+SHAPES = [(32, 1), (16, 2), (8, 4)]  # (clusters, procs per cluster)
+
+
+def build():
+    # 8 partitions of 4 processors each, contiguous: at 8x4 clustering a
+    # partition is exactly one cluster, so its sharing never leaves it.
+    return MultiprogrammedWorkload(
+        PROCESSORS,
+        partitions=8,
+        scatter=False,
+        sharers=4,
+        blocks_per_partition=16,
+        rounds=5,
+        seed=6,
+    )
+
+
+def compute():
+    results = {}
+    for clusters, per in SHAPES:
+        cfg = MachineConfig(
+            num_clusters=clusters, procs_per_cluster=per, scheme="full"
+        )
+        results[(clusters, per)] = run_workload(cfg, build(), check=True)
+    return results
+
+
+def check(results) -> None:
+    msgs = [results[shape].total_messages for shape in SHAPES]
+    # clustering strictly reduces network traffic on a local workload
+    assert msgs[0] > msgs[1] > msgs[2], msgs
+    assert msgs[2] < 0.7 * msgs[0], msgs
+    # and the directory gets cheaper: presence bits per entry scale with
+    # the cluster count, not the processor count
+    bits = [make_scheme("full", c).presence_bits() for c, _ in SHAPES]
+    assert bits == [32, 16, 8]
+
+
+def report() -> None:
+    results = compute()
+    check(results)
+    rows = []
+    base = results[SHAPES[0]]
+    for clusters, per in SHAPES:
+        r = results[(clusters, per)]
+        rows.append([
+            f"{clusters} x {per}",
+            make_scheme("full", clusters).presence_bits(),
+            r.total_messages,
+            round(r.total_messages / base.total_messages, 3),
+            r.local_misses,
+            int(r.exec_time),
+        ])
+    print("=== Ablation A10: clustering (32 processors, local workload) ===")
+    print(format_table(
+        ["clusters x procs", "dir bits/entry", "messages", "norm msgs",
+         "bus-served misses", "exec"],
+        rows,
+    ))
+
+
+def test_clustering(benchmark):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    check(results)
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,84 @@
+"""Ablation A4: memory-based directory vs cache-based linked list (§3.3).
+
+The paper dismisses SCI-style linked lists qualitatively: exact sharer
+knowledge and cache-proportional storage, but "each write produces a
+serial string of invalidations ... the memory-based directory can send
+invalidation messages as fast as the network can accept them."  This
+ablation quantifies that: a wide-sharing workload (degree 12) runs under
+the full bit vector and the linked list; message counts match (both are
+exact) while the linked list's serialized unraveling inflates write
+latency and execution time, growing with the sharing degree.
+
+Run standalone:  python benchmarks/bench_ablation_linked_list.py
+"""
+
+from repro.analysis import format_table
+from repro.apps import SharingDegreeWorkload
+from repro.machine import MachineConfig, run_workload
+
+PROCS = 32
+DEGREES = [2, 6, 12]
+
+
+def build(degree):
+    return SharingDegreeWorkload(
+        PROCS, sharers=degree, num_blocks=32, rounds=5, seed=5
+    )
+
+
+def compute():
+    results = {}
+    for degree in DEGREES:
+        for scheme in ("full", "DirLL"):
+            cfg = MachineConfig(num_clusters=PROCS, scheme=scheme)
+            results[(scheme, degree)] = run_workload(cfg, build(degree))
+    return results
+
+
+def check(results) -> None:
+    for degree in DEGREES:
+        full = results[("full", degree)]
+        ll = results[("DirLL", degree)]
+        # both are exact: identical invalidation counts
+        assert ll.invalidations_sent() == full.invalidations_sent(), degree
+        # the serial unraveling costs time
+        assert ll.exec_time >= full.exec_time, degree
+    # and the penalty grows with the sharing degree
+    gaps = [
+        results[("DirLL", d)].exec_time / results[("full", d)].exec_time
+        for d in DEGREES
+    ]
+    assert gaps[-1] > gaps[0], gaps
+    assert gaps[-1] > 1.02, gaps
+
+
+def report() -> None:
+    results = compute()
+    check(results)
+    rows = []
+    for degree in DEGREES:
+        full = results[("full", degree)]
+        ll = results[("DirLL", degree)]
+        rows.append([
+            degree,
+            int(full.exec_time),
+            int(ll.exec_time),
+            round(ll.exec_time / full.exec_time, 3),
+            full.invalidations_sent(),
+            ll.invalidations_sent(),
+        ])
+    print("=== Ablation A4: serial (SCI linked list) vs parallel invalidations ===")
+    print(format_table(
+        ["sharing degree", "full exec", "LL exec", "LL/full",
+         "full invals", "LL invals"],
+        rows,
+    ))
+
+
+def test_linked_list(benchmark):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    check(results)
+
+
+if __name__ == "__main__":
+    report()

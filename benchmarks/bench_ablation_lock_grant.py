@@ -1,0 +1,93 @@
+"""Ablation A7: coarse-vector lock granting (§7 synchronization).
+
+DASH queues lock waiters in the directory's bit vector and grants a
+release to exactly one waiter.  §7: under the coarse vector "we are only
+able to keep track of which processor regions are queued … we have to
+release all processors in that region and let them try to regain the
+lock.  While this mechanism is slightly less efficient, it still avoids
+… a hot spot."
+
+This ablation runs a lock-contention kernel (every processor repeatedly
+acquires one global lock) under exact grants and region grants, and
+compares against the hot-spot alternative the paper warns about
+(releasing *all* waiters, approximated by region size = machine size).
+
+Expected shape (asserted): correctness is unaffected (same acquisition
+count); region grants add sync messages — between the exact grant's and
+the release-everyone hot spot's.
+
+Run standalone:  python benchmarks/bench_ablation_lock_grant.py
+"""
+
+from typing import Iterator
+
+from repro.analysis import format_table
+from repro.machine import MachineConfig, run_workload
+from repro.trace.event import Lock, TraceOp, Unlock, Work
+from repro.trace.workload import Workload
+
+PROCS = 16
+ROUNDS = 6
+
+
+class LockContentionWorkload(Workload):
+    """Every processor loops: acquire the one lock, hold briefly, release."""
+
+    name = "lock_contention"
+
+    def build(self) -> None:
+        self.the_lock = self.new_lock()
+
+    def stream(self, proc_id: int) -> Iterator[TraceOp]:
+        yield Work(3 * proc_id)  # stagger arrivals
+        for _ in range(ROUNDS):
+            yield Lock(self.the_lock)
+            yield Work(20)
+            yield Unlock(self.the_lock)
+            yield Work(10)
+
+
+def compute():
+    results = {}
+    cases = {
+        "exact grant (full vector)": dict(scheme="full",
+                                          coarse_lock_grant=False),
+        "region grant (Dir3CV4)": dict(scheme="Dir3CV4",
+                                       coarse_lock_grant=True),
+        "wake everyone (Dir3CV16)": dict(scheme="Dir3CV16",
+                                         coarse_lock_grant=True),
+    }
+    for label, overrides in cases.items():
+        cfg = MachineConfig(num_clusters=PROCS, **overrides)
+        results[label] = run_workload(cfg, LockContentionWorkload(PROCS))
+    return results
+
+
+def check(results) -> None:
+    acquires = {k: r.lock_acquires for k, r in results.items()}
+    assert len(set(acquires.values())) == 1, acquires  # same lock semantics
+    exact = results["exact grant (full vector)"].total_messages
+    region = results["region grant (Dir3CV4)"].total_messages
+    everyone = results["wake everyone (Dir3CV16)"].total_messages
+    assert exact <= region <= everyone, (exact, region, everyone)
+    assert everyone > exact  # hot spot costs real traffic
+
+
+def report() -> None:
+    results = compute()
+    check(results)
+    rows = [
+        [label, r.lock_acquires, r.total_messages, int(r.exec_time)]
+        for label, r in results.items()
+    ]
+    print("=== Ablation A7: lock grant granularity (16 procs, 1 hot lock) ===")
+    print(format_table(["grant policy", "acquires", "messages", "exec"], rows))
+
+
+def test_lock_grant(benchmark):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    check(results)
+
+
+if __name__ == "__main__":
+    report()

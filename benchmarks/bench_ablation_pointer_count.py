@@ -1,0 +1,86 @@
+"""Ablation A2: how many pointers ``i`` do limited schemes need?
+
+Earlier studies motivated small ``i`` ("most memory blocks are shared by
+only a few processors"); this ablation quantifies the cliff.  A
+sharing-degree-5 workload runs under Dir_iB and Dir_iCV2 for i in
+{1, 2, 3, 4, 6}: broadcast suffers sharply while i < degree, then
+matches the full vector once i >= degree; the coarse vector degrades far
+more gracefully below the cliff.  Presence storage per entry is printed
+alongside, since the whole point of limited pointers is the storage/
+traffic trade.
+
+Run standalone:  python benchmarks/bench_ablation_pointer_count.py
+"""
+
+from repro.analysis import format_table
+from repro.apps import SharingDegreeWorkload
+from repro.core import make_scheme
+from repro.machine import MachineConfig, run_workload
+
+PROCS = 32
+POINTERS = [1, 2, 3, 4, 6]
+DEGREE = 5
+
+
+def build():
+    return SharingDegreeWorkload(
+        PROCS, sharers=DEGREE, num_blocks=48, rounds=6, seed=9
+    )
+
+
+def compute():
+    results = {}
+    for i in POINTERS:
+        for family in ("B", "CV2"):
+            name = f"Dir{i}{family}"
+            cfg = MachineConfig(num_clusters=PROCS, scheme=name)
+            results[name] = run_workload(cfg, build())
+    full = run_workload(MachineConfig(num_clusters=PROCS, scheme="full"), build())
+    return results, full
+
+
+def check(results, full) -> None:
+    for i in POINTERS:
+        b = results[f"Dir{i}B"].invalidations_sent()
+        cv = results[f"Dir{i}CV2"].invalidations_sent()
+        assert full.invalidations_sent() <= cv <= b * 1.001, i
+    # below the sharing degree, broadcast pays heavily; CV much less
+    assert results["Dir1B"].invalidations_sent() > 2 * results[
+        "Dir1CV2"
+    ].invalidations_sent()
+    # at/above the degree, B converges to full
+    assert results["Dir6B"].invalidations_sent() <= 1.05 * full.invalidations_sent()
+    # more pointers never hurt (within slack)
+    for family in ("B", "CV2"):
+        vals = [results[f"Dir{i}{family}"].invalidations_sent() for i in POINTERS]
+        for a, b in zip(vals, vals[1:]):
+            assert b <= 1.02 * a, (family, vals)
+
+
+def report() -> None:
+    results, full = compute()
+    check(results, full)
+    rows = []
+    for i in POINTERS:
+        for family in ("B", "CV2"):
+            name = f"Dir{i}{family}"
+            scheme = make_scheme(name, PROCS)
+            r = results[name]
+            rows.append([name, scheme.presence_bits(),
+                         r.invalidations_sent(), r.total_messages])
+    scheme = make_scheme("full", PROCS)
+    rows.append(["full", scheme.presence_bits(),
+                 full.invalidations_sent(), full.total_messages])
+    print(f"=== Ablation A2: pointer count at sharing degree {DEGREE} ===")
+    print(format_table(
+        ["scheme", "presence bits", "invals sent", "messages"], rows
+    ))
+
+
+def test_pointer_count(benchmark):
+    results, full = benchmark.pedantic(compute, rounds=1, iterations=1)
+    check(results, full)
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,78 @@
+"""Ablation A1: coarse-vector region size ``r`` (design choice, §4.1).
+
+Sweeps ``Dir_3CV_r`` for r in {1, 2, 4, 8, 16} on a controlled
+sharing-degree workload (degree just above the pointer count, the regime
+where representations matter) plus the Figure 2 analytic model.
+
+Expected shape (asserted): extraneous invalidations grow monotonically
+with the region size; r=1 equals the full bit vector exactly; the largest
+region approaches broadcast behaviour.
+
+Run standalone:  python benchmarks/bench_ablation_region_size.py
+"""
+
+from repro.analysis import average_invalidations, format_table
+from repro.apps import SharingDegreeWorkload
+from repro.machine import MachineConfig, run_workload
+
+PROCS = 32
+REGIONS = [1, 2, 4, 8, 16]
+
+
+def build():
+    return SharingDegreeWorkload(
+        PROCS, sharers=6, num_blocks=48, rounds=6, seed=7
+    )
+
+
+def compute():
+    sim = {}
+    model = {}
+    for r in REGIONS:
+        scheme = f"Dir3CV{r}"
+        cfg = MachineConfig(num_clusters=PROCS, scheme=scheme)
+        sim[r] = run_workload(cfg, build())
+        model[r] = average_invalidations(scheme, PROCS, 6, trials=400)
+    full = run_workload(MachineConfig(num_clusters=PROCS, scheme="full"), build())
+    bcast = run_workload(MachineConfig(num_clusters=PROCS, scheme="Dir3B"), build())
+    return sim, model, full, bcast
+
+
+def check(sim, model, full, bcast) -> None:
+    # model: monotone in r, exact at r=1
+    assert model[1] == 6.0
+    for a, b in zip(REGIONS, REGIONS[1:]):
+        assert model[a] <= model[b] + 1e-9, (a, b)
+    # simulation: invalidation traffic monotone-ish in r, bounded by B
+    invals = {r: sim[r].invalidations_sent() for r in REGIONS}
+    assert invals[1] == full.invalidations_sent()
+    for a, b in zip(REGIONS, REGIONS[1:]):
+        assert invals[a] <= 1.02 * invals[b], (a, b, invals)
+    assert invals[16] <= 1.001 * bcast.invalidations_sent()
+
+
+def report() -> None:
+    sim, model, full, bcast = compute()
+    check(sim, model, full, bcast)
+    rows = [
+        [f"Dir3CV{r}", round(model[r], 2), sim[r].invalidations_sent(),
+         sim[r].total_messages]
+        for r in REGIONS
+    ]
+    rows.append(["full", 6.0, full.invalidations_sent(), full.total_messages])
+    rows.append(["Dir3B",
+                 round(average_invalidations("Dir3B", PROCS, 6, trials=400), 2),
+                 bcast.invalidations_sent(), bcast.total_messages])
+    print("=== Ablation A1: coarse-vector region size (sharing degree 6) ===")
+    print(format_table(
+        ["scheme", "model invals@6", "sim invals", "sim msgs"], rows
+    ))
+
+
+def test_region_size(benchmark):
+    sim, model, full, bcast = benchmark.pedantic(compute, rounds=1, iterations=1)
+    check(sim, model, full, bcast)
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,96 @@
+"""Ablation A9: scheme behaviour per sharing-pattern class ([15]).
+
+The paper's design intuition comes from Weber & Gupta's classification
+of shared data (its reference [15]): read-only, migratory, mostly-read,
+frequently-read-written, and synchronization objects.  This ablation
+runs each class in isolation under the four §6.2 schemes and shows
+*which pattern stresses which scheme* — the mechanism behind the
+whole-application results of Figures 7-10:
+
+* read-only: only ``Dir_iNB`` suffers (pointer shuttling);
+* migratory: everyone equal (1-2 sharers — the MP3D result);
+* mostly-read: the accuracy battleground — full < CV < B invalidations,
+  and NB forces re-reads;
+* frequently read/written: lock-serialized ownership migration,
+  representation-insensitive;
+* synchronization: queue-based locks make sync traffic scheme-blind.
+
+Run standalone:  python benchmarks/bench_ablation_sharing_patterns.py
+"""
+
+from repro.analysis import format_table
+from repro.apps.patterns import PATTERN_CLASSES
+from repro.machine import MachineConfig, run_workload
+
+PROCS = 32
+SCHEMES = ["full", "Dir3CV2", "Dir3B", "Dir3NB"]
+
+
+def build(name):
+    cls = PATTERN_CLASSES[name]
+    return cls(PROCS)
+
+
+def compute():
+    results = {}
+    for name in PATTERN_CLASSES:
+        for scheme in SCHEMES:
+            cfg = MachineConfig(num_clusters=PROCS, scheme=scheme)
+            results[(name, scheme)] = run_workload(cfg, build(name))
+    return results
+
+
+def check(results) -> None:
+    def msgs(pattern, scheme):
+        return results[(pattern, scheme)].total_messages
+
+    # read-only: NB alone degrades
+    non_nb = [msgs("read_only", s) for s in ("full", "Dir3CV2", "Dir3B")]
+    assert max(non_nb) <= 1.02 * min(non_nb)
+    assert msgs("read_only", "Dir3NB") > 1.2 * min(non_nb)
+
+    # migratory: everyone equal
+    mig = [msgs("migratory", s) for s in SCHEMES]
+    assert max(mig) <= 1.05 * min(mig)
+
+    # mostly-read: invalidation ordering full <= CV <= B
+    inv = {
+        s: results[("mostly_read", s)].invalidations_sent()
+        for s in ("full", "Dir3CV2", "Dir3B")
+    }
+    assert inv["full"] <= inv["Dir3CV2"] <= inv["Dir3B"]
+    assert inv["Dir3B"] > 1.3 * inv["full"]
+
+    # frequently read/written: representation-insensitive
+    frw = [msgs("freq_rw", s) for s in SCHEMES]
+    assert max(frw) <= 1.05 * min(frw)
+
+    # synchronization: literally identical (no data refs)
+    sync = [msgs("sync", s) for s in SCHEMES]
+    assert max(sync) == min(sync)
+
+
+def report() -> None:
+    results = compute()
+    check(results)
+    for name in PATTERN_CLASSES:
+        base = results[(name, "full")]
+        rows = [
+            [scheme,
+             round(results[(name, scheme)].total_messages
+                   / max(base.total_messages, 1), 3),
+             results[(name, scheme)].invalidations_sent(),
+             int(results[(name, scheme)].exec_time)]
+            for scheme in SCHEMES
+        ]
+        print(f"\n=== Ablation A9: pattern class '{name}' ===")
+        print(format_table(["scheme", "norm msgs", "invals", "exec"], rows))
+
+
+def test_sharing_patterns(benchmark):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    check(results)
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,91 @@
+"""Figure 2: average invalidation messages vs. number of sharers.
+
+Reproduces both panels with the paper's Monte-Carlo methodology
+(random sharer sets, §4.1):
+
+* Figure 2a — 32 processors: Dir_N (full vector), Dir3B, Dir3CV2;
+* Figure 2b — 64 processors: adds Dir3X and uses Dir3CV4.
+
+Expected shape (asserted): the full vector is the identity line; Dir3B
+jumps to N-2 as soon as the 3 pointers overflow; Dir3X is only
+marginally better than broadcast; the coarse vector tracks the full
+vector with a small region-granularity offset.
+
+Run standalone:  python benchmarks/bench_fig02_invalidations.py
+Run via pytest:  pytest benchmarks/bench_fig02_invalidations.py --benchmark-only -s
+"""
+
+try:
+    from benchmarks.common import save_results, stats_summary
+except ImportError:  # standalone script
+    from common import save_results, stats_summary
+from repro.analysis import ascii_chart, figure2_series, format_series
+
+TRIALS = 300
+
+FIG2A_SCHEMES = ["full", "Dir3B", "Dir3CV2"]
+FIG2B_SCHEMES = ["full", "Dir3B", "Dir3X", "Dir3CV4"]
+
+
+def compute_fig2a():
+    return figure2_series(FIG2A_SCHEMES, 32, max_sharers=30, trials=TRIALS)
+
+
+def compute_fig2b():
+    return figure2_series(FIG2B_SCHEMES, 64, max_sharers=62, trials=TRIALS)
+
+
+def check_fig2a(series) -> None:
+    full, b, cv = (series[s] for s in FIG2A_SCHEMES)
+    for k in range(31):
+        assert full[k] == k, "full vector must be the identity line"
+        assert full[k] <= cv[k] <= b[k], "CV must sit between full and B"
+    assert all(b[k] == 30 for k in range(4, 31)), "B plateaus at N-2"
+    assert cv[6] < b[6] * 0.5, "CV clearly beats broadcast at 6 sharers"
+
+
+def check_fig2b(series) -> None:
+    full, b, x, cv = (series[s] for s in FIG2B_SCHEMES)
+    for k in range(4, 63):
+        assert b[k] == 62, "B plateaus at N-2"
+        assert full[k] <= cv[k] <= b[k]
+        assert x[k] <= b[k] + 1e-9
+    # "its behaviour is almost as bad as that of the broadcast scheme"
+    assert x[10] > 0.8 * b[10]
+    # ... while CV4 covers at most 10 regions x 4 nodes ≈ half the machine
+    assert cv[10] < 0.55 * x[10]
+
+
+def report() -> None:
+    a = compute_fig2a()
+    check_fig2a(a)
+    save_results("fig02a", a)
+    print("=== Figure 2a: 32 processors ===")
+    print(ascii_chart(a, x_label="sharers", y_label="invalidations"))
+    print()
+    print(format_series(a, x_label="sharers"))
+    b = compute_fig2b()
+    check_fig2b(b)
+    save_results("fig02b", b)
+    print("\n=== Figure 2b: 64 processors ===")
+    print(ascii_chart(b, x_label="sharers", y_label="invalidations"))
+    print()
+    print(format_series(b, x_label="sharers"))
+
+
+def test_fig2a(benchmark):
+    series = benchmark.pedantic(compute_fig2a, rounds=1, iterations=1)
+    check_fig2a(series)
+    print()
+    print(format_series(series, x_label="sharers"))
+
+
+def test_fig2b(benchmark):
+    series = benchmark.pedantic(compute_fig2b, rounds=1, iterations=1)
+    check_fig2b(series)
+    print()
+    print(format_series(series, x_label="sharers"))
+
+
+if __name__ == "__main__":
+    report()

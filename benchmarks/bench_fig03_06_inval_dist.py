@@ -1,0 +1,108 @@
+"""Figures 3-6: invalidation distributions for LocusRoute.
+
+Runs LocusRoute on the §5 machine under the four §6.1 schemes and prints
+each scheme's invalidation distribution with the number of invalidation
+events and the average invalidations per event — the exact annotations of
+Figures 3-6.
+
+Expected shape (asserted):
+
+* Dir_32 (full vector) is the intrinsic distribution — mostly small
+  invalidation counts with a long thin tail (Fig 3);
+* Dir_3NB has **more events** (reads now invalidate) but never more than
+  3 invalidations per event (Fig 4);
+* Dir_3B regrows the small-invalidation region and adds a broadcast
+  spike at the right edge, driving the average way up (Fig 5);
+* Dir_3CV2 responds to large events without broadcast: no right-edge
+  spike, granularity peaks from the region size, an average between the
+  full vector's and broadcast's (Fig 6).
+
+Run standalone:  python benchmarks/bench_fig03_06_inval_dist.py
+Run via pytest:  pytest benchmarks/bench_fig03_06_inval_dist.py --benchmark-only -s
+"""
+
+try:
+    from benchmarks.paperconfig import locusroute, machine, PROCESSORS
+except ImportError:  # running as a standalone script
+    from paperconfig import locusroute, machine, PROCESSORS
+try:
+    from benchmarks.common import save_results, stats_summary
+except ImportError:  # standalone script
+    from common import save_results, stats_summary
+from repro.analysis import format_histogram
+from repro.machine import run_workload
+from repro.machine.stats import InvalCause
+
+FIGS = [
+    ("Figure 3", "full"),
+    ("Figure 4", "Dir3NB"),
+    ("Figure 5", "Dir3B"),
+    ("Figure 6", "Dir3CV2"),
+]
+
+
+def compute():
+    results = {}
+    for _fig, scheme in FIGS:
+        stats = run_workload(machine(scheme), locusroute())
+        results[scheme] = stats
+    return results
+
+
+def check(results) -> None:
+    full = results["full"]
+    nb = results["Dir3NB"]
+    b = results["Dir3B"]
+    cv = results["Dir3CV2"]
+
+    broadcast_size = PROCESSORS - 2  # home + writer need no message
+
+    # Fig 4: NB has more events (read-triggered) but all of size <= 3
+    assert nb.invalidation_events() > full.invalidation_events()
+    nb_writes = results["Dir3NB"].inval_hist[InvalCause.WRITE]
+    assert max(nb_writes, default=0) <= 3
+    assert nb.invalidation_events(InvalCause.NB_EVICT) > 0
+
+    # Fig 5: B has a spike at the right edge and the highest average
+    b_writes = b.inval_hist[InvalCause.WRITE]
+    assert b_writes.get(broadcast_size, 0) > 0, "no broadcast spike"
+    assert b.avg_invals_per_event > cv.avg_invals_per_event
+    assert b.avg_invals_per_event > full.avg_invals_per_event
+
+    # Fig 6: CV handles the same writes without any broadcast spike
+    cv_writes = cv.inval_hist[InvalCause.WRITE]
+    assert cv_writes.get(broadcast_size, 0) <= b_writes.get(broadcast_size, 0) / 4
+    assert full.avg_invals_per_event <= cv.avg_invals_per_event
+
+
+def report() -> None:
+    results = compute()
+    check(results)
+    save_results("fig03_06", {
+        scheme: {
+            "summary": stats_summary(st),
+            "distribution": st.inval_distribution(),
+        }
+        for scheme, st in results.items()
+    })
+    for fig, scheme in FIGS:
+        stats = results[scheme]
+        print(f"\n=== {fig}: LocusRoute invalidation distribution, {scheme} ===")
+        print(f"invalidation events : {stats.invalidation_events():,}")
+        print(f"avg invals per event: {stats.avg_invals_per_event:.2f}")
+        print(f"total invalidations : {stats.invalidations_sent():,}")
+        print(format_histogram(stats.inval_distribution(), max_width=40))
+
+
+def test_fig3_to_6(benchmark):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    check(results)
+    print()
+    for fig, scheme in FIGS:
+        stats = results[scheme]
+        print(f"{fig} ({scheme}): events={stats.invalidation_events():,} "
+              f"avg={stats.avg_invals_per_event:.2f}")
+
+
+if __name__ == "__main__":
+    report()

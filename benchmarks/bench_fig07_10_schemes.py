@@ -1,0 +1,141 @@
+"""Figures 7-10: execution time and message traffic per directory scheme.
+
+The paper's main §6.2 study: each application runs under the full bit
+vector, the coarse vector, broadcast, and non-broadcast schemes on the
+32-processor machine; the bars are normalized execution time and the
+message breakdown into requests (incl. writebacks), replies, and
+invalidations+acknowledgements.
+
+Expected shapes (asserted, §6.2):
+
+* Fig 7 (LU): Dir_3NB blows up — many extra requests/replies *and*
+  invalidations from the all-processor-read pivot column; the other
+  three schemes are essentially identical.
+* Fig 8 (DWF): Dir_3NB clearly worse (read-only pattern/library data);
+  the others indistinguishable.
+* Fig 9 (MP3D): 1-2 sharers per block — every scheme performs alike.
+* Fig 10 (LocusRoute): the one application where Dir_3NB beats Dir_3B;
+  Dir_3CV2 stays within ~12% of the full vector's traffic (the paper's
+  worst-case bound for the coarse vector).
+
+Run standalone:  python benchmarks/bench_fig07_10_schemes.py
+Run via pytest:  pytest benchmarks/bench_fig07_10_schemes.py --benchmark-only -s
+"""
+
+try:
+    from benchmarks.paperconfig import APPS, SCHEMES_6_2, machine
+except ImportError:  # running as a standalone script
+    from paperconfig import APPS, SCHEMES_6_2, machine
+try:
+    from benchmarks.common import save_results, stats_summary
+except ImportError:  # standalone script
+    from common import save_results, stats_summary
+from repro.analysis import format_table
+from repro.machine import run_workload
+
+FIG_OF_APP = {"LU": "Figure 7", "DWF": "Figure 8", "MP3D": "Figure 9",
+              "LocusRoute": "Figure 10"}
+
+
+def compute_app(app_name):
+    build = APPS[app_name]
+    return {
+        scheme: run_workload(machine(scheme), build())
+        for scheme in SCHEMES_6_2
+    }
+
+
+def compute_all():
+    return {app: compute_app(app) for app in APPS}
+
+
+def check(results) -> None:
+    def msgs(app, scheme):
+        return results[app][scheme].total_messages
+
+    def exec_time(app, scheme):
+        return results[app][scheme].exec_time
+
+    for app in results:
+        # request+reply behaviour of full/CV/B is similar (§6.2)
+        reqs = [results[app][s].requests for s in ("full", "Dir3CV2", "Dir3B")]
+        assert max(reqs) <= 1.05 * min(reqs), f"{app}: req counts diverge"
+
+    # Fig 7/8: NB much worse on LU and DWF
+    for app in ("LU", "DWF"):
+        assert msgs(app, "Dir3NB") > 1.5 * msgs(app, "full"), app
+        assert exec_time(app, "Dir3NB") > 1.05 * exec_time(app, "full"), app
+
+    # Fig 9: MP3D — all schemes within a few percent
+    mp3d = [msgs("MP3D", s) for s in SCHEMES_6_2]
+    assert max(mp3d) <= 1.1 * min(mp3d)
+
+    # Fig 10: LocusRoute — NB beats B; B is the worst non-NB scheme
+    assert msgs("LocusRoute", "Dir3NB") < msgs("LocusRoute", "Dir3B")
+    assert msgs("LocusRoute", "Dir3B") > 1.1 * msgs("LocusRoute", "full")
+
+    # the coarse vector's worst case stays within ~12% of the full vector
+    for app in results:
+        assert msgs(app, "Dir3CV2") <= 1.15 * msgs(app, "full"), app
+        # and CV never exceeds broadcast
+        assert msgs(app, "Dir3CV2") <= 1.001 * msgs(app, "Dir3B"), app
+
+
+def report() -> None:
+    results = compute_all()
+    check(results)
+    save_results("fig07_10", {
+        app: {scheme: stats_summary(st) for scheme, st in by.items()}
+        for app, by in results.items()
+    })
+    for app, by_scheme in results.items():
+        base = by_scheme["full"]
+        rows = []
+        for scheme, stats in by_scheme.items():
+            rows.append([
+                scheme,
+                round(stats.exec_time / base.exec_time, 3),
+                round(stats.total_messages / base.total_messages, 3),
+                stats.requests,
+                stats.replies,
+                stats.inval_plus_ack,
+            ])
+        print(f"\n=== {FIG_OF_APP[app]}: {app} ===")
+        print(format_table(
+            ["scheme", "norm exec", "norm msgs", "requests", "replies",
+             "inval+ack"],
+            rows,
+        ))
+
+
+def _bench_one(app_name):
+    def run():
+        return compute_app(app_name)
+    return run
+
+
+def test_fig07_lu(benchmark):
+    results = {"LU": benchmark.pedantic(_bench_one("LU"), rounds=1, iterations=1)}
+    nb, full = results["LU"]["Dir3NB"], results["LU"]["full"]
+    assert nb.total_messages > 1.5 * full.total_messages
+
+
+def test_fig08_dwf(benchmark):
+    r = benchmark.pedantic(_bench_one("DWF"), rounds=1, iterations=1)
+    assert r["Dir3NB"].total_messages > 1.5 * r["full"].total_messages
+
+
+def test_fig09_mp3d(benchmark):
+    r = benchmark.pedantic(_bench_one("MP3D"), rounds=1, iterations=1)
+    msgs = [r[s].total_messages for s in SCHEMES_6_2]
+    assert max(msgs) <= 1.1 * min(msgs)
+
+
+def test_fig10_locusroute(benchmark):
+    r = benchmark.pedantic(_bench_one("LocusRoute"), rounds=1, iterations=1)
+    assert r["Dir3NB"].total_messages < r["Dir3B"].total_messages
+    assert r["Dir3CV2"].total_messages <= 1.15 * r["full"].total_messages
+
+
+if __name__ == "__main__":
+    report()

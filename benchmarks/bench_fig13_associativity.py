@@ -1,0 +1,83 @@
+"""Figure 13: effect of sparse-directory associativity (LU, full vector).
+
+The §6.3.2 study: LU with scaled caches on sparse directories of size
+factor 1, 2, and 4 at associativities 1 (direct-mapped), 2, and 4, full
+bit vector, random replacement.  The paper reports *traffic* because it
+shows the trend best.
+
+Expected shape (asserted): for each size factor, traffic(assoc 4) <=
+traffic(assoc 2) <= traffic(direct-mapped) within measurement slack, and
+direct-mapped is strictly worse than 4-way at the smallest directory
+("entries in a direct mapped sparse directory would keep bumping each
+other out").
+
+Run standalone:  python benchmarks/bench_fig13_associativity.py
+Run via pytest:  pytest benchmarks/bench_fig13_associativity.py --benchmark-only -s
+"""
+
+try:
+    from benchmarks.paperconfig import lu_sparse, sparse_machine
+except ImportError:  # running as a standalone script
+    from paperconfig import lu_sparse, sparse_machine
+try:
+    from benchmarks.common import save_results, stats_summary
+except ImportError:  # standalone script
+    from common import save_results, stats_summary
+from repro.analysis import format_table
+from repro.machine import run_workload
+
+ASSOCS = [1, 2, 4]
+SIZE_FACTORS = [1.0, 2.0, 4.0]
+
+
+def compute():
+    results = {}
+    for sf in SIZE_FACTORS:
+        for assoc in ASSOCS:
+            cfg = sparse_machine("full", sf, assoc=assoc, policy="random")
+            results[(sf, assoc)] = run_workload(cfg, lu_sparse())
+    return results
+
+
+def check(results) -> None:
+    for sf in SIZE_FACTORS:
+        t = {a: results[(sf, a)].total_messages for a in ASSOCS}
+        # higher associativity never hurts materially...
+        assert t[4] <= 1.02 * t[2], (sf, t)
+        assert t[2] <= 1.02 * t[1], (sf, t)
+    # ...and at the smallest directory, direct-mapped is strictly worse
+    small = {a: results[(1.0, a)].total_messages for a in ASSOCS}
+    assert small[1] > 1.01 * small[4], small
+
+
+def report() -> None:
+    results = compute()
+    check(results)
+    save_results("fig13", {
+        f"sf{sf}_assoc{a}": stats_summary(r) for (sf, a), r in results.items()
+    })
+    base = results[(4.0, 4)].total_messages
+    rows = [
+        [f"size {sf:g}", assoc,
+         round(results[(sf, assoc)].total_messages / base, 3),
+         results[(sf, assoc)].sparse_replacements]
+        for sf in SIZE_FACTORS
+        for assoc in ASSOCS
+    ]
+    print("=== Figure 13: sparse directory associativity (LU, Dir32) ===")
+    print(format_table(
+        ["directory", "assoc", "norm traffic", "replacements"], rows
+    ))
+
+
+def test_fig13(benchmark):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    check(results)
+    print()
+    for (sf, assoc), r in sorted(results.items()):
+        print(f"size {sf:g} assoc {assoc}: msgs={r.total_messages:,} "
+              f"repl={r.sparse_replacements:,}")
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,80 @@
+"""Figure 14: effect of the sparse-directory replacement policy (LU).
+
+The §6.3.2 study: LU with scaled caches, sparse directory of
+associativity 4 and full bit vector, comparing LRU, random, and LRA
+(least-recently-allocated) replacement across size factors 1, 2, 4.
+Traffic is reported, as in the paper.
+
+Expected shape (asserted): LRU <= random <= LRA (within slack) at every
+size factor — "LRU ... performs the best.  Even though random is the
+easiest to implement in hardware, it actually does better than LRA."
+
+Run standalone:  python benchmarks/bench_fig14_replacement.py
+Run via pytest:  pytest benchmarks/bench_fig14_replacement.py --benchmark-only -s
+"""
+
+try:
+    from benchmarks.paperconfig import lu_sparse, sparse_machine
+except ImportError:  # running as a standalone script
+    from paperconfig import lu_sparse, sparse_machine
+try:
+    from benchmarks.common import save_results, stats_summary
+except ImportError:  # standalone script
+    from common import save_results, stats_summary
+from repro.analysis import format_table
+from repro.machine import run_workload
+
+POLICIES = ["lru", "random", "lra"]
+SIZE_FACTORS = [1.0, 2.0, 4.0]
+
+
+def compute():
+    results = {}
+    for sf in SIZE_FACTORS:
+        for policy in POLICIES:
+            cfg = sparse_machine("full", sf, policy=policy, assoc=4)
+            results[(sf, policy)] = run_workload(cfg, lu_sparse())
+    return results
+
+
+def check(results) -> None:
+    for sf in SIZE_FACTORS:
+        t = {p: results[(sf, p)].total_messages for p in POLICIES}
+        assert t["lru"] <= 1.02 * t["random"], (sf, t)
+        assert t["random"] <= 1.02 * t["lra"], (sf, t)
+    # at the smallest directory, LRA is strictly worse than LRU
+    small = {p: results[(1.0, p)].total_messages for p in POLICIES}
+    assert small["lra"] > 1.01 * small["lru"], small
+
+
+def report() -> None:
+    results = compute()
+    check(results)
+    save_results("fig14", {
+        f"sf{sf}_{p}": stats_summary(r) for (sf, p), r in results.items()
+    })
+    base = results[(4.0, "lru")].total_messages
+    rows = [
+        [f"size {sf:g}", policy.upper(),
+         round(results[(sf, policy)].total_messages / base, 3),
+         results[(sf, policy)].sparse_replacements]
+        for sf in SIZE_FACTORS
+        for policy in POLICIES
+    ]
+    print("=== Figure 14: replacement policies (LU, Dir32, assoc 4) ===")
+    print(format_table(
+        ["directory", "policy", "norm traffic", "replacements"], rows
+    ))
+
+
+def test_fig14(benchmark):
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    check(results)
+    print()
+    for (sf, policy), r in sorted(results.items()):
+        print(f"size {sf:g} {policy.upper():6s}: msgs={r.total_messages:,} "
+              f"repl={r.sparse_replacements:,}")
+
+
+if __name__ == "__main__":
+    report()

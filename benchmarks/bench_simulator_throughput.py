@@ -1,0 +1,43 @@
+"""Simulator throughput: references simulated per second.
+
+Not a paper artifact — this benchmarks the *substrate itself* so
+regressions in the event kernel, cache, or directory hot paths are
+caught.  Uses multiple pytest-benchmark rounds (the paper benchmarks run
+single-shot because each simulation is seconds long and deterministic).
+
+Run:  pytest benchmarks/bench_simulator_throughput.py --benchmark-only
+"""
+
+from repro.apps import MP3DWorkload, UniformRandomWorkload
+from repro.machine import MachineConfig, run_workload
+from repro.trace import characterize
+
+
+def _run_random():
+    cfg = MachineConfig(num_clusters=8, l1_bytes=512, l2_bytes=2048)
+    wl = UniformRandomWorkload(
+        8, refs_per_proc=400, heap_blocks=64, write_fraction=0.3, seed=1
+    )
+    return run_workload(cfg, wl)
+
+
+def _run_mp3d():
+    cfg = MachineConfig(num_clusters=8, scheme="Dir3CV2")
+    return run_workload(cfg, MP3DWorkload(8, num_particles=256, steps=2))
+
+
+def test_throughput_random_heap(benchmark):
+    stats = benchmark(_run_random)
+    refs = sum(p.reads + p.writes for p in stats.procs)
+    assert refs == 8 * 400
+
+
+def test_throughput_mp3d(benchmark):
+    stats = benchmark(_run_mp3d)
+    assert stats.exec_time > 0
+
+
+def test_throughput_characterize(benchmark):
+    wl = MP3DWorkload(8, num_particles=256, steps=2)
+    st = benchmark(characterize, wl)
+    assert st.shared_refs > 0

@@ -1,0 +1,71 @@
+"""Table 1: sample machine configurations at ~13% directory overhead.
+
+Recomputes the paper's three machine generations from the analytic
+overhead model: the 64-processor DASH prototype with a non-sparse full
+bit vector, a 256-processor machine with a sparsity-4 sparse full vector,
+and a 1024-processor machine combining sparsity 4 with ``Dir8CV4`` —
+all staying near 13% directory memory overhead without growing the cache
+block.  Also prints the §5 worked example (savings factor ≈ 54 for a
+sparsity-64 full vector on 32 nodes).
+
+Run standalone:  python benchmarks/bench_table1_configs.py
+Run via pytest:  pytest benchmarks/bench_table1_configs.py --benchmark-only -s
+"""
+
+try:
+    from benchmarks.common import save_results, stats_summary
+except ImportError:  # standalone script
+    from common import save_results, stats_summary
+from repro.analysis import format_table
+from repro.core import (
+    FullBitVectorScheme,
+    savings_factor,
+    table1_configurations,
+)
+
+
+def compute():
+    rows = table1_configurations()
+    factor64 = savings_factor(FullBitVectorScheme(32), 16, 64)
+    return rows, factor64
+
+
+def check(rows, factor64) -> None:
+    assert [r.processors for r in rows] == [64, 256, 1024]
+    for r in rows:
+        assert 12.0 < r.overhead_percent < 14.5, (
+            f"{r.scheme_label}: {r.overhead_percent:.1f}% overhead is not ~13%"
+        )
+    # §5: "39 bits for every 64 blocks [instead of 33 per block], a
+    # savings factor of 54"
+    assert abs(factor64 - 54.15) < 0.2
+
+
+def report() -> None:
+    rows, factor64 = compute()
+    check(rows, factor64)
+    save_results("table1", {
+        "rows": [vars(r) for r in rows],
+        "savings_factor_sparsity64": factor64,
+    })
+    print("=== Table 1: sample machine configurations ===")
+    print(format_table(
+        ["clusters", "processors", "main MB", "cache MB", "block B",
+         "scheme", "sparsity", "overhead %"],
+        [[r.clusters, r.processors, r.main_memory_mbytes, r.cache_mbytes,
+          r.block_bytes, r.scheme_label, r.sparsity,
+          round(r.overhead_percent, 1)] for r in rows],
+    ))
+    print(f"\n§5 worked example: sparsity-64 full vector on 32 nodes saves a "
+          f"factor of {factor64:.1f} (paper: ~54)")
+
+
+def test_table1(benchmark):
+    rows, factor64 = benchmark.pedantic(compute, rounds=1, iterations=1)
+    check(rows, factor64)
+    print()
+    report()
+
+
+if __name__ == "__main__":
+    report()

@@ -1,0 +1,65 @@
+"""Table 2: general application characteristics.
+
+Characterizes the four reconstructed applications the way the paper does:
+total shared references, the read/write split, synchronization operations,
+and the shared space touched.  All runs use 32 processors and 16-byte
+blocks (§5).  Absolute counts are scaled down (the paper's Tango traces
+had 3-9 million references; see EXPERIMENTS.md), so the assertions check
+the structural properties: every app is read-dominated, within the
+paper's read-fraction range, and LU is the largest trace as in Table 2.
+
+Run standalone:  python benchmarks/bench_table2_apps.py
+Run via pytest:  pytest benchmarks/bench_table2_apps.py --benchmark-only -s
+"""
+
+try:
+    from benchmarks.paperconfig import APPS
+except ImportError:  # running as a standalone script
+    from paperconfig import APPS
+try:
+    from benchmarks.common import save_results, stats_summary
+except ImportError:  # standalone script
+    from common import save_results, stats_summary
+from repro.analysis import format_table
+from repro.trace import characterize
+
+
+def compute():
+    return {name: characterize(build()) for name, build in APPS.items()}
+
+
+def check(stats) -> None:
+    assert set(stats) == {"LU", "DWF", "MP3D", "LocusRoute"}
+    for name, st in stats.items():
+        assert st.shared_refs > 10_000, f"{name} trace too small"
+        assert st.shared_reads > st.shared_writes, f"{name} must be read-heavy"
+        # Table 2 read fractions range from ~0.60 (MP3D) to ~0.86 (DWF)
+        assert 0.5 < st.read_fraction < 0.95, name
+        assert st.sync_ops > 0, f"{name} has no synchronization"
+    # LU is the biggest trace in Table 2
+    assert stats["LU"].shared_refs == max(s.shared_refs for s in stats.values())
+
+
+def report() -> None:
+    stats = compute()
+    check(stats)
+    save_results("table2", {name: vars(st) for name, st in stats.items()})
+    print("=== Table 2: general application characteristics ===")
+    print(format_table(
+        ["application", "shared refs", "reads", "writes", "sync ops",
+         "shared KB", "read frac"],
+        [[name, st.shared_refs, st.shared_reads, st.shared_writes,
+          st.sync_ops, round(st.shared_bytes / 1024, 1),
+          round(st.read_fraction, 3)] for name, st in stats.items()],
+    ))
+
+
+def test_table2(benchmark):
+    stats = benchmark.pedantic(compute, rounds=1, iterations=1)
+    check(stats)
+    print()
+    report()
+
+
+if __name__ == "__main__":
+    report()

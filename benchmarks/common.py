@@ -1,0 +1,58 @@
+"""Shared benchmark plumbing: persist regenerated results as JSON.
+
+Every benchmark that regenerates a paper artifact calls
+:func:`save_results` with a plain-data summary; the file lands in
+``results/<name>.json`` next to this package, so EXPERIMENTS.md numbers
+can be re-derived (and diffed across code changes) without re-reading
+terminal output.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def _plain(value: Any) -> Any:
+    """Coerce stats objects / numpy scalars / tuples into JSON-safe data."""
+    if hasattr(value, "to_dict"):
+        return _plain(value.to_dict())
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item"):  # numpy scalar
+        return value.item()
+    return str(value)
+
+
+def save_results(name: str, data: Dict[str, Any]) -> Path:
+    """Write ``results/<name>.json``; returns the path written."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    with open(path, "w") as fh:
+        json.dump(_plain(data), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def stats_summary(stats) -> Dict[str, Any]:
+    """The per-run numbers EXPERIMENTS.md quotes."""
+    return {
+        "exec_time": stats.exec_time,
+        "total_messages": stats.total_messages,
+        "requests": stats.requests,
+        "replies": stats.replies,
+        "invalidations": stats.invalidations,
+        "acknowledgements": stats.acknowledgements,
+        "invalidation_events": stats.invalidation_events(),
+        "invalidations_sent": stats.invalidations_sent(),
+        "avg_invals_per_event": round(stats.avg_invals_per_event, 4),
+        "sparse_replacements": stats.sparse_replacements,
+        "nb_evictions": stats.nb_evictions,
+    }

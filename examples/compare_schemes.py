@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Compare directory schemes on every application (Figures 7-10 style).
+
+Runs the four reconstructed applications under the full bit vector, the
+coarse vector, and both limited-pointer baselines, and prints normalized
+execution time and message traffic — the experiment at the heart of the
+paper's §6.2.
+
+Run:  python examples/compare_schemes.py [--procs 16]
+"""
+
+import argparse
+
+from repro import MachineConfig, run_workload
+from repro.analysis import format_table
+from repro.apps import DWFWorkload, LocusRouteWorkload, LUWorkload, MP3DWorkload
+
+SCHEMES = ["full", "Dir3CV2", "Dir3B", "Dir3NB"]
+
+def app_builders(p: int):
+    return {
+        "LU": lambda: LUWorkload(p, matrix_n=32),
+        "DWF": lambda: DWFWorkload(p, pattern_len=2 * p, library_len=96),
+        "MP3D": lambda: MP3DWorkload(p, num_particles=16 * p, steps=3),
+        "LocusRoute": lambda: LocusRouteWorkload(
+            p, grid_cols=64, grid_rows=16, num_regions=8, wires_per_region=10
+        ),
+    }
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--procs", type=int, default=16,
+                        help="processors (= clusters), default 16")
+    args = parser.parse_args()
+
+    for app_name, build in app_builders(args.procs).items():
+        rows = []
+        base_exec = base_msgs = None
+        for scheme in SCHEMES:
+            cfg = MachineConfig(num_clusters=args.procs, scheme=scheme)
+            stats = run_workload(cfg, build())
+            if base_exec is None:
+                base_exec, base_msgs = stats.exec_time, stats.total_messages
+            rows.append([
+                scheme,
+                round(stats.exec_time / base_exec, 3),
+                round(stats.total_messages / base_msgs, 3),
+                stats.requests,
+                stats.replies,
+                stats.inval_plus_ack,
+            ])
+        print(f"\n=== {app_name} ({args.procs} processors) ===")
+        print(format_table(
+            ["scheme", "norm exec", "norm msgs", "requests", "replies",
+             "inval+ack"],
+            rows,
+        ))
+
+if __name__ == "__main__":
+    main()

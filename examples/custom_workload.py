@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Write your own workload: a producer-consumer pipeline.
+
+Demonstrates the :class:`repro.trace.Workload` extension point: allocate
+shared arrays in ``build``, yield ``Read``/``Write``/``Work``/sync ops
+from ``stream``.  The example is a software pipeline where stage ``p``
+writes a buffer that stage ``p+1`` reads — classic producer-consumer
+sharing, a pattern limited-pointer directories handle perfectly (sharing
+degree 2) and a nice contrast to the broadcast-heavy patterns in the
+paper's applications.
+
+Run:  python examples/custom_workload.py
+"""
+
+from typing import Iterator
+
+from repro import MachineConfig, Workload, run_workload
+from repro.analysis import format_table
+from repro.trace.event import Barrier, Read, TraceOp, Work, Write
+
+class PipelineWorkload(Workload):
+    """Each processor transforms its predecessor's buffer into its own."""
+
+    name = "pipeline"
+
+    def __init__(self, num_processors: int, *, items: int = 64,
+                 rounds: int = 4, **kw) -> None:
+        self.items = items
+        self.rounds = rounds
+        super().__init__(num_processors, **kw)
+
+    def build(self) -> None:
+        # one buffer per stage; stage p reads buffer p-1, writes buffer p
+        self.buffers = [
+            self.space.alloc(f"stage_buffer_{p}", self.items, 8)
+            for p in range(self.num_processors)
+        ]
+        self.round_barriers = [self.new_barrier() for _ in range(self.rounds)]
+
+    def stream(self, proc_id: int) -> Iterator[TraceOp]:
+        mine = self.buffers[proc_id]
+        upstream = self.buffers[proc_id - 1] if proc_id > 0 else None
+        for r in range(self.rounds):
+            for i in range(self.items):
+                if upstream is not None:
+                    yield Read(upstream.addr(i))
+                yield Work(3)
+                yield Write(mine.addr(i))
+            yield Barrier(self.round_barriers[r])
+
+def main() -> None:
+    procs = 16
+    rows = []
+    for scheme in ("full", "Dir3CV2", "Dir3B", "Dir3NB"):
+        cfg = MachineConfig(num_clusters=procs, scheme=scheme)
+        stats = run_workload(cfg, PipelineWorkload(procs), check=True)
+        rows.append([scheme, int(stats.exec_time), stats.total_messages,
+                     stats.invalidations_sent()])
+    print("Producer-consumer pipeline: sharing degree 2, so every scheme")
+    print("performs alike — pointer overflow never happens:\n")
+    print(format_table(["scheme", "exec cycles", "messages", "invals"], rows))
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Invalidation behaviour, analytically and in simulation (Figs 2-6).
+
+Part 1 recreates Figure 2's Monte-Carlo curves: average invalidations
+versus number of sharers for each directory scheme.
+
+Part 2 runs LocusRoute and prints the per-scheme invalidation
+*distributions* the paper shows in Figures 3-6, including the broadcast
+spike at the right edge for ``Dir_iB`` and its absence for the coarse
+vector.
+
+Run:  python examples/invalidation_patterns.py
+"""
+
+from repro import MachineConfig, run_workload
+from repro.analysis import figure2_series, format_histogram, format_series
+from repro.apps import LocusRouteWorkload
+
+def part1_figure2() -> None:
+    print("=== Figure 2a: avg invalidations vs sharers (32 nodes) ===")
+    series = figure2_series(
+        ["full", "Dir3B", "Dir3X", "Dir3CV2"], 32, max_sharers=16, trials=300
+    )
+    print(format_series(series, x_label="sharers"))
+
+def part2_distributions() -> None:
+    procs = 16
+    for scheme in ("full", "Dir3NB", "Dir3B", "Dir3CV2"):
+        workload = LocusRouteWorkload(
+            procs, grid_cols=64, grid_rows=16, num_regions=4,
+            wires_per_region=12,
+        )
+        cfg = MachineConfig(num_clusters=procs, scheme=scheme)
+        stats = run_workload(cfg, workload)
+        print(f"\n=== LocusRoute invalidation distribution, {scheme} ===")
+        print(f"events: {stats.invalidation_events():,}   "
+              f"avg invalidations/event: {stats.avg_invals_per_event:.2f}")
+        print(format_histogram(stats.inval_distribution(), max_width=40))
+
+def main() -> None:
+    part1_figure2()
+    part2_distributions()
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Machine-size scaling: why the coarse vector + sparse directory wins.
+
+Holds the problem per processor roughly fixed and grows the machine from
+8 to 64 clusters, comparing:
+
+* the *storage* story (analytic): full-vector overhead grows linearly
+  with the node count while Dir3CV's grows ~logarithmically, and
+  sparsity buys another order of magnitude — the paper's Table 1
+  trajectory;
+* the *traffic* story (simulated): Dir3CV2 tracks the full vector within
+  a few percent at every size, while Dir3B's broadcast cost grows with
+  the machine (each overflow write invalidates N-2 clusters).
+
+This is the §8 conclusion in one script: "a combination of the two
+techniques ... will allow machines to be scaled to hundreds of
+processors while keeping the directory memory overhead reasonable."
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.analysis import format_table
+from repro.apps import SharingDegreeWorkload
+from repro.core import CoarseVectorScheme, FullBitVectorScheme
+from repro.core.overhead import directory_overhead
+from repro.machine import MachineConfig, run_workload
+
+SIZES = [8, 16, 32, 64]
+
+def storage_story() -> None:
+    print("=== Directory storage vs machine size (16-byte blocks) ===")
+    rows = []
+    for n in SIZES + [256, 1024]:
+        full = directory_overhead(FullBitVectorScheme(n), 16)
+        cv = directory_overhead(CoarseVectorScheme(n, 3, max(2, n // 16)), 16)
+        cv_sparse = directory_overhead(
+            CoarseVectorScheme(n, 3, max(2, n // 16)), 16, sparsity=16
+        )
+        rows.append([
+            n,
+            round(full.overhead_percent, 1),
+            round(cv.overhead_percent, 1),
+            round(cv_sparse.overhead_percent, 2),
+        ])
+    print(format_table(
+        ["clusters", "full vector %", "Dir3CV %", "sparse Dir3CV %"], rows
+    ))
+
+def traffic_story() -> None:
+    print("\n=== Invalidation traffic vs machine size (sharing degree 6) ===")
+    rows = []
+    for n in SIZES:
+        per_scheme = {}
+        for scheme in ("full", "Dir3CV2", "Dir3B"):
+            wl = SharingDegreeWorkload(
+                n, sharers=min(6, n), num_blocks=2 * n, rounds=4, seed=8
+            )
+            cfg = MachineConfig(num_clusters=n, scheme=scheme)
+            per_scheme[scheme] = run_workload(cfg, wl)
+        base = per_scheme["full"].total_messages
+        rows.append([
+            n,
+            base,
+            round(per_scheme["Dir3CV2"].total_messages / base, 3),
+            round(per_scheme["Dir3B"].total_messages / base, 3),
+        ])
+    print(format_table(
+        ["clusters", "full msgs", "Dir3CV2 (norm)", "Dir3B (norm)"], rows
+    ))
+    print("\nDir3CV2's overhead saturates (region granularity) while")
+    print("broadcast's penalty keeps scaling with the machine — the")
+    print("paper's §8 conclusion in numbers.")
+
+def main() -> None:
+    storage_story()
+    traffic_story()
+
+if __name__ == "__main__":
+    main()

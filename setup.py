@@ -1,0 +1,11 @@
+"""Shim for legacy editable installs in offline environments.
+
+The sandbox ships setuptools without the ``wheel`` package, so PEP-660
+editable installs fail; ``pip install -e . --no-build-isolation`` falls
+back to ``setup.py develop`` through this file.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

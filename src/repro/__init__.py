@@ -1,0 +1,64 @@
+"""repro — reproduction of Gupta, Weber & Mowry (ICPP 1990).
+
+"Reducing Memory and Traffic Requirements for Scalable Directory-Based
+Cache Coherence Schemes": the coarse vector directory scheme
+(``Dir_iCV_r``) and sparse directories, evaluated on a DASH-style
+simulated multiprocessor with four reconstructed parallel applications.
+
+Public API tour:
+
+* :mod:`repro.core` — directory entry formats, sparse directory store,
+  replacement policies, and the analytic memory-overhead model;
+* :mod:`repro.machine` — the event-driven DASH substrate
+  (:class:`~repro.machine.system.DashSystem`,
+  :class:`~repro.machine.config.MachineConfig`);
+* :mod:`repro.trace` — workload/trace infrastructure (the Tango stand-in);
+* :mod:`repro.apps` — LU, DWF, MP3D, LocusRoute re-implementations plus
+  synthetic sharing-pattern generators;
+* :mod:`repro.analysis` — the Figure 2 invalidation model and report
+  formatting.
+
+Quickstart::
+
+    from repro import MachineConfig, run_workload
+    from repro.apps import LUWorkload
+
+    cfg = MachineConfig(num_clusters=32, scheme="Dir3CV2")
+    stats = run_workload(cfg, LUWorkload(32, matrix_n=48))
+    print(stats.exec_time, stats.traffic_breakdown())
+"""
+
+from repro.core import (
+    CoarseVectorScheme,
+    FullBitVectorScheme,
+    LimitedPointerBroadcastScheme,
+    LimitedPointerNoBroadcastScheme,
+    LinkedListScheme,
+    OverflowCacheScheme,
+    SparseDirectory,
+    SupersetScheme,
+    make_scheme,
+)
+from repro.machine import DashSystem, MachineConfig, SimStats, run_workload
+from repro.trace import Workload, characterize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CoarseVectorScheme",
+    "FullBitVectorScheme",
+    "LimitedPointerBroadcastScheme",
+    "LimitedPointerNoBroadcastScheme",
+    "LinkedListScheme",
+    "OverflowCacheScheme",
+    "SparseDirectory",
+    "SupersetScheme",
+    "make_scheme",
+    "DashSystem",
+    "MachineConfig",
+    "SimStats",
+    "run_workload",
+    "Workload",
+    "characterize",
+    "__version__",
+]

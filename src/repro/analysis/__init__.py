@@ -1,0 +1,40 @@
+"""Analysis utilities: the Figure 2 model and report formatting."""
+
+from repro.analysis.invalidation import (
+    InvalidationModel,
+    average_invalidations,
+    exact_expected_invalidations,
+    figure2_series,
+)
+from repro.analysis.report import (
+    format_histogram,
+    format_series,
+    format_table,
+    normalized,
+)
+from repro.analysis.distributions import (
+    DistributionSummary,
+    broadcast_mass,
+    excess_invalidations,
+    total_variation_distance,
+)
+from repro.analysis.sweeps import Sweep, SweepResults
+from repro.analysis.charts import ascii_chart
+
+__all__ = [
+    "InvalidationModel",
+    "average_invalidations",
+    "exact_expected_invalidations",
+    "figure2_series",
+    "format_table",
+    "format_series",
+    "format_histogram",
+    "normalized",
+    "DistributionSummary",
+    "broadcast_mass",
+    "excess_invalidations",
+    "total_variation_distance",
+    "Sweep",
+    "SweepResults",
+    "ascii_chart",
+]

@@ -1,0 +1,70 @@
+"""Terminal line charts — render the paper's figures without matplotlib.
+
+Benchmarks print their series as aligned tables; for eyeballing shapes
+(Figure 2's curves, Figures 11-12's slopes) an ASCII chart is handier.
+The renderer is deliberately simple: one character cell per (column,
+row), distinct markers per series, a legend, and y-axis labels.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+#: marker characters assigned to series in order
+MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named y-series (sharing one implicit 0..n-1 x axis).
+
+    Returns a multi-line string: chart grid, x axis, and legend.
+    """
+    if not series:
+        return "(no series)"
+    if width < 8 or height < 4:
+        raise ValueError("chart must be at least 8x4")
+    names = list(series)
+    if len(names) > len(MARKERS):
+        raise ValueError(f"at most {len(MARKERS)} series supported")
+    max_len = max(len(v) for v in series.values())
+    if max_len == 0:
+        return "(empty series)"
+    all_values = [v for vals in series.values() for v in vals]
+    y_min = min(all_values)
+    y_max = max(all_values)
+    y_span = (y_max - y_min) or 1.0
+    x_span = (max_len - 1) or 1
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for name, marker in zip(names, MARKERS):
+        for i, v in enumerate(series[name]):
+            col = round(i * (width - 1) / x_span)
+            row = round((v - y_min) * (height - 1) / y_span)
+            grid[height - 1 - row][col] = marker
+
+    label_w = max(len(f"{y_max:g}"), len(f"{y_min:g}"))
+    lines = []
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{y_max:g}".rjust(label_w)
+        elif r == height - 1:
+            label = f"{y_min:g}".rjust(label_w)
+        else:
+            label = " " * label_w
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_w + " +" + "-" * width)
+    lines.append(
+        " " * label_w + f"  {x_label}: 0 .. {max_len - 1}"
+    )
+    legend = "   ".join(
+        f"{marker} {name}" for name, marker in zip(names, MARKERS)
+    )
+    lines.append(" " * label_w + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Invalidation-distribution analysis (the Figures 3-6 comparisons).
+
+Quantifies what the paper reads off its histograms: the mean, how much
+probability mass sits in broadcasts, and how far two schemes'
+distributions diverge.  Used by the Figure 3-6 benchmark's assertions
+and available to users studying their own workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Headline numbers of one invalidation distribution."""
+
+    events: int
+    invalidations: int
+    mean: float
+    max_size: int
+    zero_fraction: float  # events needing no invalidation messages
+
+    @classmethod
+    def of(cls, hist: Mapping[int, int]) -> "DistributionSummary":
+        events = sum(hist.values())
+        invals = sum(size * count for size, count in hist.items())
+        return cls(
+            events=events,
+            invalidations=invals,
+            mean=invals / events if events else 0.0,
+            max_size=max(hist) if hist else 0,
+            zero_fraction=(hist.get(0, 0) / events) if events else 0.0,
+        )
+
+
+def normalize(hist: Mapping[int, int]) -> Dict[int, float]:
+    """Histogram -> probability mass function."""
+    total = sum(hist.values())
+    if total == 0:
+        return {}
+    return {size: count / total for size, count in hist.items()}
+
+
+def total_variation_distance(
+    a: Mapping[int, int], b: Mapping[int, int]
+) -> float:
+    """TV distance between two invalidation distributions, in [0, 1]."""
+    pa, pb = normalize(a), normalize(b)
+    support = set(pa) | set(pb)
+    return 0.5 * sum(abs(pa.get(s, 0.0) - pb.get(s, 0.0)) for s in support)
+
+
+def broadcast_mass(
+    hist: Mapping[int, int], num_nodes: int, *, slack: int = 1
+) -> float:
+    """Fraction of events that were (near-)broadcasts.
+
+    An event of size >= ``num_nodes - 2 - slack`` counts as a broadcast;
+    ``num_nodes - 2`` is the exact broadcast size (home and writer need
+    no message), with ``slack`` absorbing home==writer cases.
+    """
+    events = sum(hist.values())
+    if events == 0:
+        return 0.0
+    threshold = num_nodes - 2 - slack
+    return sum(c for s, c in hist.items() if s >= threshold) / events
+
+
+def excess_invalidations(
+    hist: Mapping[int, int], baseline: Mapping[int, int]
+) -> int:
+    """Extra invalidations a scheme sent versus the exact baseline.
+
+    Both histograms must come from the same reference stream; the
+    full-bit-vector distribution is the intrinsic minimum (§6.1), so
+    this is the paper's "extraneous invalidations" area between curves.
+    """
+    sent = sum(s * c for s, c in hist.items())
+    base = sum(s * c for s, c in baseline.items())
+    return sent - base

@@ -1,0 +1,82 @@
+"""Plain-text table/series formatting for benchmark output.
+
+Benchmarks print the same rows and series the paper's tables and figures
+report; these helpers keep that output aligned and consistent without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], *, indent: str = ""
+) -> str:
+    """Monospace table with right-aligned numeric columns."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return indent + "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}" if abs(cell) < 1000 else f"{cell:,.0f}"
+    if isinstance(cell, int):
+        return f"{cell:,}"
+    return str(cell)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]], *, x_label: str = "x"
+) -> str:
+    """Columns of y-values per named series, one row per x."""
+    names = list(series)
+    length = max(len(v) for v in series.values())
+    headers = [x_label] + names
+    rows: List[List[object]] = []
+    for x in range(length):
+        row: List[object] = [x]
+        for name in names:
+            vals = series[name]
+            row.append(vals[x] if x < len(vals) else "")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_histogram(
+    hist: Mapping[int, int], *, max_width: int = 50, label: str = "invals"
+) -> str:
+    """ASCII bar chart of a {size: count} histogram (Figures 3-6 style)."""
+    if not hist:
+        return "(empty histogram)"
+    total = sum(hist.values())
+    peak = max(hist.values())
+    lines = []
+    for size in range(0, max(hist) + 1):
+        count = hist.get(size, 0)
+        pct = 100.0 * count / total
+        bar = "#" * max(0, round(max_width * count / peak))
+        lines.append(f"{label}={size:3d}  {pct:6.2f}%  {bar}")
+    return "\n".join(lines)
+
+
+def normalized(
+    values: Mapping[str, float], *, baseline: str
+) -> Dict[str, float]:
+    """Each value divided by the baseline entry (Figures 7-14 style)."""
+    if baseline not in values:
+        raise KeyError(f"baseline {baseline!r} not among {sorted(values)}")
+    base = values[baseline]
+    if base == 0:
+        raise ZeroDivisionError("baseline value is zero")
+    return {k: v / base for k, v in values.items()}

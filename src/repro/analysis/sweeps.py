@@ -1,0 +1,154 @@
+"""Parameter-sweep runner: the experiment loop every study repeats.
+
+The paper's evaluation is a grid of (application x scheme x directory
+configuration) simulations; this module factors that loop out so
+benchmarks, examples, and user studies share one implementation with
+consistent result records.
+
+Example::
+
+    sweep = Sweep(
+        base=MachineConfig(num_clusters=32),
+        workload_factory=lambda: LUWorkload(32, matrix_n=48),
+    )
+    sweep.add_axis("scheme", ["full", "Dir3CV2", "Dir3B"])
+    sweep.add_axis("sparse_size_factor", [None, 2.0, 1.0])
+    results = sweep.run()
+    print(results.table(["exec_time", "total_messages"]))
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.machine.config import MachineConfig
+from repro.machine.stats import SimStats
+from repro.machine.system import run_workload
+from repro.trace.workload import Workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point: the config overrides applied and the stats measured."""
+
+    overrides: Tuple[Tuple[str, Any], ...]
+    stats: SimStats
+
+    def override(self, name: str) -> Any:
+        """The value this point used for the named axis."""
+        for key, value in self.overrides:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def metric(self, name: str) -> Any:
+        """A statistic by attribute name (callables invoked, dict fallback)."""
+        value = getattr(self.stats, name, None)
+        if value is None:
+            value = self.stats.to_dict().get(name)
+        if callable(value):
+            value = value()
+        if value is None:
+            raise KeyError(f"unknown metric {name!r}")
+        return value
+
+
+class SweepResults:
+    """Ordered collection of sweep points with tabular access."""
+
+    def __init__(self, axes: Sequence[str], points: List[SweepPoint]) -> None:
+        self.axes = list(axes)
+        self.points = points
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def filter(self, **criteria) -> "SweepResults":
+        """Points whose overrides match all the given values."""
+        kept = [
+            p
+            for p in self.points
+            if all(p.override(k) == v for k, v in criteria.items())
+        ]
+        return SweepResults(self.axes, kept)
+
+    def metric_by(self, axis: str, metric: str) -> Dict[Any, Any]:
+        """Map one axis value -> metric (requires the axis to be unique)."""
+        out: Dict[Any, Any] = {}
+        for p in self.points:
+            key = p.override(axis)
+            if key in out:
+                raise ValueError(
+                    f"axis {axis!r} is not unique across points; filter first"
+                )
+            out[key] = p.metric(metric)
+        return out
+
+    def table(self, metrics: Sequence[str]) -> str:
+        """Aligned text table: one row per point, axes then metrics."""
+        headers = self.axes + list(metrics)
+        rows = []
+        for p in self.points:
+            row: List[Any] = [p.override(a) for a in self.axes]
+            row.extend(p.metric(m) for m in metrics)
+            rows.append(row)
+        return format_table(headers, rows)
+
+
+class Sweep:
+    """A cartesian grid of MachineConfig overrides, run over one workload."""
+
+    def __init__(
+        self,
+        base: MachineConfig,
+        workload_factory: Callable[[], Workload],
+        *,
+        check_coherence: bool = False,
+    ) -> None:
+        self.base = base
+        self.workload_factory = workload_factory
+        self.check_coherence = check_coherence
+        self._axes: List[Tuple[str, List[Any]]] = []
+
+    def add_axis(self, name: str, values: Iterable[Any]) -> "Sweep":
+        """Add a config field to sweep over; returns self for chaining."""
+        values = list(values)
+        if not values:
+            raise ValueError(f"axis {name!r} has no values")
+        if name in (n for n, _ in self._axes):
+            raise ValueError(f"axis {name!r} already added")
+        # fail fast on typos: the override must be a real config field
+        self.base.with_(**{name: values[0]})
+        self._axes.append((name, values))
+        return self
+
+    @property
+    def axis_names(self) -> List[str]:
+        return [name for name, _ in self._axes]
+
+    def run(
+        self,
+        *,
+        progress: Optional[Callable[[Mapping[str, Any], SimStats], None]] = None,
+    ) -> SweepResults:
+        """Run every grid point; optionally report progress per point."""
+        if not self._axes:
+            raise ValueError("add at least one axis before running")
+        names = self.axis_names
+        points: List[SweepPoint] = []
+        for combo in itertools.product(*(vals for _, vals in self._axes)):
+            overrides = dict(zip(names, combo))
+            cfg = self.base.with_(**overrides)
+            stats = run_workload(
+                cfg, self.workload_factory(), check=self.check_coherence
+            )
+            if progress is not None:
+                progress(overrides, stats)
+            points.append(SweepPoint(tuple(overrides.items()), stats))
+        return SweepResults(names, points)

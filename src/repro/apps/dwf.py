@@ -1,0 +1,114 @@
+"""DWF: wavefront dynamic-programming string matcher (medical workload).
+
+The paper's DWF searches gene databases with a string-matching kernel.
+We reconstruct it as the standard banded wavefront dynamic program
+(Smith-Waterman-shaped): a score matrix ``H`` of ``pattern_len`` rows by
+``library_len`` columns, rows banded across processors, computed in
+anti-diagonal stages of ``col_block`` columns separated by barriers so a
+band only starts a column block after the band above has finished it.
+
+Coherence-relevant pattern (§6.2, §6.3.1): *"The pattern and library
+arrays are constantly read by all the processes during the run"* —
+read-only data actively shared by every processor, which ``Dir_iNB``
+shuttles from cache to cache; and DWF *"is a wave-front algorithm that
+has a relatively small working set at any moment"*, so its performance is
+flat across sparse-directory size factors (Figure 12).
+
+Inter-band communication: the first row of band ``p`` reads the last row
+of band ``p-1`` (producer-consumer along the band boundary).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.trace.event import Barrier, Read, TraceOp, Work, Write
+from repro.trace.workload import Workload
+
+
+class DWFWorkload(Workload):
+    """Wavefront matcher: ``pattern_len`` x ``library_len`` DP matrix."""
+
+    name = "DWF"
+
+    def __init__(
+        self,
+        num_processors: int,
+        pattern_len: int = 64,
+        library_len: int = 256,
+        *,
+        col_block: int = 16,
+        cell_work_cycles: int = 3,
+        block_bytes: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if pattern_len < num_processors:
+            raise ValueError("pattern_len must be >= num_processors")
+        if col_block < 1:
+            raise ValueError("col_block must be >= 1")
+        self.pattern_len = pattern_len
+        self.library_len = library_len
+        self.col_block = col_block
+        self.cell_work_cycles = cell_work_cycles
+        super().__init__(num_processors, block_bytes=block_bytes, seed=seed)
+
+    def build(self) -> None:
+        self.pattern = self.space.alloc("pattern", self.pattern_len, 8)
+        self.library = self.space.alloc("library", self.library_len, 8)
+        # substitution-score table: consulted for every cell by every
+        # processor — with the library string, this is the paper's
+        # "pattern and library arrays are constantly read by all the
+        # processes", the data Dir_iNB keeps shuttling between caches.
+        self.score_table = self.space.alloc("score_table", 16, 8)
+        # running best-match score: read by every processor as it scans,
+        # updated only when a new maximum is found — rare writes to an
+        # all-processor-shared word, the small inval+ack component of
+        # Figure 8 (at full sharing every scheme sends the same
+        # invalidations, so the non-NB schemes stay indistinguishable)
+        self.best_score = self.space.alloc("best_score", 1, 8)
+        self.matrix = self.space.alloc(
+            "score_matrix", self.pattern_len * self.library_len, 8
+        )
+        self.num_col_blocks = -(-self.library_len // self.col_block)
+        self.num_stages = self.num_col_blocks + self.num_processors - 1
+        self.stage_barriers = [self.new_barrier() for _ in range(self.num_stages)]
+
+    def band_rows(self, proc_id: int) -> range:
+        """Rows owned by ``proc_id`` (contiguous band)."""
+        per = self.pattern_len // self.num_processors
+        extra = self.pattern_len % self.num_processors
+        start = proc_id * per + min(proc_id, extra)
+        size = per + (1 if proc_id < extra else 0)
+        return range(start, start + size)
+
+    def _h(self, i: int, j: int) -> int:
+        return self.matrix.addr(i * self.library_len + j)
+
+    def stream(self, proc_id: int) -> Iterator[TraceOp]:
+        rng = self.rng_for(proc_id)
+        rows = self.band_rows(proc_id)
+        work = self.cell_work_cycles
+        for stage in range(self.num_stages):
+            block_idx = stage - proc_id
+            if 0 <= block_idx < self.num_col_blocks:
+                j_lo = block_idx * self.col_block
+                j_hi = min(j_lo + self.col_block, self.library_len)
+                # check the running best score for this column block and,
+                # rarely, improve it
+                yield Read(self.best_score.addr(0))
+                if rng.random() < 0.05:
+                    yield Write(self.best_score.addr(0))
+                for j in range(j_lo, j_hi):
+                    yield Read(self.library.addr(j))  # read-only, all procs
+                    for i in rows:
+                        yield Read(self.pattern.addr(i))  # read-only, all
+                        # substitution score s(pattern[i], library[j])
+                        yield Read(self.score_table.addr((i * 7 + j) % 16))
+                        if i == rows.start and i > 0:
+                            # boundary row of the band above (cross-proc)
+                            yield Read(self._h(i - 1, j))
+                        elif i > rows.start:
+                            yield Read(self._h(i - 1, j))
+                        yield Work(work)
+                        yield Write(self._h(i, j))
+            yield Barrier(self.stage_barriers[stage])

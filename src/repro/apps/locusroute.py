@@ -1,0 +1,141 @@
+"""LocusRoute: commercial-quality standard-cell router (VLSI-CAD workload).
+
+LocusRoute routes wires through a cost grid; parallelism comes from
+routing many wires concurrently, with processors working mostly inside
+geographic regions of the chip.  We reconstruct the memory behaviour:
+
+* a shared *cost array* over the routing grid; routing a wire reads the
+  cost cells along a few candidate paths and then increments the cells of
+  the chosen path;
+* per-region work queues of wires, protected by locks, from which the
+  processors of that region draw work.
+
+Coherence-relevant pattern (§6.2): *"The central data structure ... is
+shared amongst several processors working on the same geographical
+region"* — a sharing degree a little above the pointer count, so
+``Dir_iB`` keeps broadcasting on writes, while ``Dir_iNB`` does
+comparatively well because its overflow invalidations rarely cause
+re-reads.  LocusRoute is the one application where NB beats B
+(Figure 10), and its moderate dataset makes sparse directories cheap.
+
+Wire-to-processor assignment is deterministic (streams must be
+timing-oblivious) but mimics self-scheduling: the wires of a region are
+dealt round-robin to that region's processors, and each grab still
+performs the queue-head lock/read/update so the synchronization and
+queue-sharing traffic is present.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from repro.trace.event import Lock, Read, TraceOp, Unlock, Work, Write
+from repro.trace.workload import Workload
+
+
+class LocusRouteWorkload(Workload):
+    """Route ``wires_per_region * num_regions`` wires over a cost grid."""
+
+    name = "LocusRoute"
+
+    def __init__(
+        self,
+        num_processors: int,
+        *,
+        grid_cols: int = 128,
+        grid_rows: int = 16,
+        num_regions: int = 8,
+        wires_per_region: int = 24,
+        candidate_paths: int = 3,
+        route_work_cycles: int = 8,
+        block_bytes: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if grid_cols % num_regions:
+            raise ValueError("grid_cols must be divisible by num_regions")
+        self.grid_cols = grid_cols
+        self.grid_rows = grid_rows
+        self.num_regions = num_regions
+        self.wires_per_region = wires_per_region
+        self.candidate_paths = candidate_paths
+        self.route_work_cycles = route_work_cycles
+        super().__init__(num_processors, block_bytes=block_bytes, seed=seed)
+
+    def build(self) -> None:
+        self.cost = self.space.alloc("cost_array", self.grid_cols * self.grid_rows, 8)
+        self.queue_heads = self.space.alloc("queue_heads", self.num_regions, 8)
+        # global per-region congestion summary: read by every processor
+        # when weighing candidate paths, written by the router that
+        # commits a wire — the widely-shared structure behind the long
+        # tail of the Figure 3 invalidation distribution.
+        self.density = self.space.alloc("density", self.num_regions, 8)
+        self.queue_locks = self.new_locks(self.num_regions)
+        self.region_cols = self.grid_cols // self.num_regions
+        self._wires = self._generate_wires()
+
+    def _generate_wires(self) -> List[List[Tuple[int, int, int]]]:
+        """Per region: list of wires (start_row, col_start, length)."""
+        rng = self.rng_for(-1)  # workload-level RNG, independent of procs
+        wires: List[List[Tuple[int, int, int]]] = []
+        for region in range(self.num_regions):
+            base_col = region * self.region_cols
+            region_wires = []
+            for _ in range(self.wires_per_region):
+                row = rng.randrange(self.grid_rows)
+                length = rng.randrange(2, self.region_cols)
+                col = base_col + rng.randrange(self.region_cols - length + 1)
+                region_wires.append((row, col, length))
+            wires.append(region_wires)
+        return wires
+
+    def _cell(self, row: int, col: int) -> int:
+        return self.cost.addr(row * self.grid_cols + col)
+
+    def procs_in_region(self, region: int) -> List[int]:
+        """Processors assigned to a geographic region (round-robin)."""
+        return [
+            p for p in range(self.num_processors) if p % self.num_regions == region
+        ]
+
+    def stream(self, proc_id: int) -> Iterator[TraceOp]:
+        rng = self.rng_for(proc_id)
+        region = proc_id % self.num_regions
+        peers = self.procs_in_region(region)
+        my_slot = peers.index(proc_id)
+        work = self.route_work_cycles
+        for wire_idx, wire in enumerate(self._wires[region]):
+            # self-scheduling: grab the queue head under the region lock
+            yield Lock(self.queue_locks[region])
+            yield Read(self.queue_heads.addr(region))
+            yield Write(self.queue_heads.addr(region))
+            yield Unlock(self.queue_locks[region])
+            if wire_idx % len(peers) != my_slot:
+                continue  # another processor of this region routes it
+            yield from self._route(wire, rng, work)
+
+    def _route(
+        self, wire: Tuple[int, int, int], rng, work: int
+    ) -> Iterator[TraceOp]:
+        row, col, length = wire
+        region = col // self.region_cols
+        # consult the global congestion summary of this and the
+        # neighbouring regions (read by everyone, written on commit)
+        for r in (region - 1, region, region + 1):
+            if 0 <= r < self.num_regions:
+                yield Read(self.density.addr(r))
+        # cost evaluation: read the cells of a few candidate rows
+        candidates = [row]
+        for _ in range(self.candidate_paths - 1):
+            candidates.append(rng.randrange(self.grid_rows))
+        for cand in candidates:
+            for c in range(col, col + length):
+                yield Read(self._cell(cand, c))
+            yield Work(work)
+        # commit: increment the chosen path's cells (read-modify-write)
+        chosen = min(candidates)  # deterministic pick
+        for c in range(col, col + length):
+            yield Read(self._cell(chosen, c))
+            yield Write(self._cell(chosen, c))
+        # update the congestion summary for the wire's region
+        yield Read(self.density.addr(region))
+        yield Write(self.density.addr(region))

@@ -1,0 +1,99 @@
+"""LU: parallel dense L-U factorization (the paper's numeric workload).
+
+Column-interleaved right-looking factorization, the classic SPLASH-era
+formulation: columns are dealt round-robin to processors; at step ``k``
+the owner of column ``k`` normalizes it, a barrier makes it visible, and
+every processor updates its own columns ``j > k`` using column ``k``.
+
+The coherence-relevant pattern (§6.2): *"In LU each matrix column is read
+by all processors just after the pivot step"* — a read-all/write-one
+cycle on the pivot column that
+
+* forces ``Dir_iNB`` into a continuous stream of pointer-overflow
+  invalidations and re-reads, and
+* leaves enough sharers at sparse-directory replacements that ``Dir_iB``
+  broadcasts while ``Dir_iCV_r`` sends a few region invalidations
+  (the Figure 11 size-factor-1 gap).
+
+The matrix is stored column-major so a column is contiguous (two 8-byte
+elements per 16-byte block).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.trace.event import Barrier, Read, TraceOp, Work, Write
+from repro.trace.workload import Workload
+
+
+class LUWorkload(Workload):
+    """L-U factorization of a dense ``matrix_n`` x ``matrix_n`` matrix."""
+
+    name = "LU"
+
+    def __init__(
+        self,
+        num_processors: int,
+        matrix_n: int = 64,
+        *,
+        update_work_cycles: int = 4,
+        block_bytes: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if matrix_n < 2:
+            raise ValueError("matrix_n must be >= 2")
+        self.n = matrix_n
+        self.update_work_cycles = update_work_cycles
+        super().__init__(num_processors, block_bytes=block_bytes, seed=seed)
+
+    def build(self) -> None:
+        n = self.n
+        self.matrix = self.space.alloc("matrix", n * n, 8)
+        # pivot-ready flags: the owner posts flags[k] after normalizing and
+        # every other processor reads it before updating.  Two 8-byte flags
+        # share a 16-byte block, so posting flags[k] invalidates all the
+        # processors still caching flags[k-1] — the classic false-sharing
+        # component of LU's (small) invalidation traffic.
+        self.flags = self.space.alloc("pivot_flags", n, 8)
+        # one barrier per factorization step phase
+        self.step_barriers = [
+            (self.new_barrier(), self.new_barrier()) for _ in range(n - 1)
+        ]
+
+    # column-major addressing: element (i, j) = column j, row i
+    def _addr(self, i: int, j: int) -> int:
+        return self.matrix.addr(j * self.n + i)
+
+    def owner(self, column: int) -> int:
+        """Processor owning a matrix column (round-robin interleave)."""
+        return column % self.num_processors
+
+    def stream(self, proc_id: int) -> Iterator[TraceOp]:
+        n = self.n
+        p = self.num_processors
+        work = self.update_work_cycles
+        for k in range(n - 1):
+            pivot_barrier, update_barrier = self.step_barriers[k]
+            if self.owner(k) == proc_id:
+                # normalize the pivot column: A[i,k] /= A[k,k]
+                yield Read(self._addr(k, k))
+                for i in range(k + 1, n):
+                    yield Read(self._addr(i, k))
+                    yield Work(work)
+                    yield Write(self._addr(i, k))
+                yield Write(self.flags.addr(k))  # post "column k ready"
+            yield Barrier(pivot_barrier)
+            if self.owner(k) != proc_id:
+                yield Read(self.flags.addr(k))  # consume the ready flag
+            # update owned trailing columns with the (now shared) pivot col
+            for j in range(k + 1, n):
+                if self.owner(j) != proc_id:
+                    continue
+                yield Read(self._addr(k, j))  # multiplier row element
+                for i in range(k + 1, n):
+                    yield Read(self._addr(i, k))  # pivot column: read by ALL
+                    yield Read(self._addr(i, j))
+                    yield Work(work)
+                    yield Write(self._addr(i, j))
+            yield Barrier(update_barrier)

@@ -1,0 +1,131 @@
+"""MP3D: 3-D rarefied-flow particle simulator (aeronautics workload).
+
+The original MP3D simulates hypersonic airflow in the upper atmosphere:
+particles move through a discretized wind-tunnel space array and collide
+within cells.  We reconstruct its memory behaviour with a
+particle-in-cell step: each processor owns a fixed slice of the particle
+array (records it rewrites every step), and every move updates the
+counter of the space cell the particle lands in.
+
+Coherence-relevant pattern (§6.2): *"most of the data is shared between
+just one or two processors at any given time"* — particle records are
+effectively private (1 sharer), space cells are written by whichever
+processors currently have particles there (usually one, occasionally
+two — migratory), and collisions touch a partner particle that mostly
+belongs to the same processor.  All directory schemes handle this well;
+it is the paper's easy case.
+
+Particle motion is simulated numerically (deterministic per seed) so the
+cell-access pattern drifts the way a real flow does.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.trace.event import Barrier, Read, TraceOp, Work, Write
+from repro.trace.workload import Workload
+
+
+class MP3DWorkload(Workload):
+    """Particle-in-cell stepper: ``num_particles`` over a cubic space grid."""
+
+    name = "MP3D"
+
+    def __init__(
+        self,
+        num_processors: int,
+        num_particles: int = 512,
+        *,
+        space_cells: int = 64,
+        steps: int = 4,
+        collision_fraction: float = 0.2,
+        move_work_cycles: int = 6,
+        block_bytes: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if num_particles < num_processors:
+            raise ValueError("need at least one particle per processor")
+        if not 0.0 <= collision_fraction <= 1.0:
+            raise ValueError("collision_fraction must be in [0, 1]")
+        self.num_particles = num_particles
+        self.space_cells = space_cells
+        self.steps = steps
+        self.collision_fraction = collision_fraction
+        self.move_work_cycles = move_work_cycles
+        super().__init__(num_processors, block_bytes=block_bytes, seed=seed)
+
+    def build(self) -> None:
+        # one 16-byte record per particle: position+velocity word pair
+        self.particles = self.space.alloc("particles", self.num_particles, 16)
+        self.cells = self.space.alloc("space_cells", self.space_cells, 8)
+        self.step_barriers = [self.new_barrier() for _ in range(self.steps)]
+
+    def owned(self, proc_id: int) -> range:
+        """The contiguous slice of particles this processor owns."""
+        per = self.num_particles // self.num_processors
+        extra = self.num_particles % self.num_processors
+        start = proc_id * per + min(proc_id, extra)
+        size = per + (1 if proc_id < extra else 0)
+        return range(start, start + size)
+
+    def zone(self, proc_id: int) -> range:
+        """Space cells where this processor's particles concentrate.
+
+        Real MP3D particles have spatial locality — a processor's
+        particles cluster in a flow region, wandering a little past the
+        zone edges, so a cell is written by one processor most of the
+        time and by two near a boundary (the paper's "shared between just
+        one or two processors").
+        """
+        per = self.space_cells / self.num_processors
+        lo = int(proc_id * per)
+        hi = max(lo + 1, int((proc_id + 1) * per))
+        return range(lo, hi)
+
+    def stream(self, proc_id: int) -> Iterator[TraceOp]:
+        rng = self.rng_for(proc_id)
+        owned = self.owned(proc_id)
+        zone = self.zone(proc_id)
+        # particles wander within their zone plus one boundary cell each
+        # side (reflecting walk), giving 1-2 writers per cell
+        lo = max(0, zone.start - 1)
+        hi = min(self.space_cells - 1, zone.stop)  # zone.stop = first cell past
+        position = {p: rng.randrange(zone.start, zone.stop) for p in owned}
+        velocity = {p: rng.choice((-2, -1, 1, 2)) for p in owned}
+        work = self.move_work_cycles
+        for step in range(self.steps):
+            # -- move phase --------------------------------------------------
+            for p in owned:
+                yield Read(self.particles.addr(p))
+                # consult the departure cell's state (density affects the
+                # move) before updating it — makes the reference mix
+                # read-heavy, as in Table 2 (~60% reads for MP3D)
+                yield Read(self.cells.addr(position[p]))
+                yield Work(work)
+                nxt = position[p] + velocity[p]
+                if nxt < lo or nxt > hi:
+                    velocity[p] = -velocity[p]
+                    nxt = min(max(nxt, lo), hi)
+                position[p] = nxt
+                yield Write(self.particles.addr(p))
+                # update the destination space cell's population counter
+                cell_addr = self.cells.addr(position[p])
+                yield Read(cell_addr)
+                yield Write(cell_addr)
+            # -- collision phase -----------------------------------------------
+            for p in owned:
+                if rng.random() >= self.collision_fraction:
+                    continue
+                # partner: usually a neighbouring owned particle, sometimes
+                # (same-cell, other-processor) a foreign one -> 2-sharer
+                if rng.random() < 0.25:
+                    partner = rng.randrange(self.num_particles)
+                else:
+                    partner = rng.choice(tuple(owned))
+                yield Read(self.particles.addr(p))
+                yield Read(self.particles.addr(partner))
+                yield Work(work)
+                yield Write(self.particles.addr(p))
+                yield Write(self.particles.addr(partner))
+            yield Barrier(self.step_barriers[step])

@@ -1,0 +1,206 @@
+"""The canonical sharing-pattern classes of Weber & Gupta [15].
+
+The paper's whole premise rests on its reference [15] ("Analysis of
+Invalidation Patterns in Multiprocessors"): shared data falls into a few
+classes with very different invalidation behaviour, and *"most memory
+blocks are shared by only a few processors at any given time"*.  These
+microkernels reproduce each class in isolation so a directory scheme's
+response to each can be measured directly (ablation A9):
+
+* **code/read-only** — written once during init, then only read: no
+  invalidations at all, but pointer overflow poison for ``Dir_iNB``;
+* **migratory** — read-modify-written by one processor at a time as the
+  object moves around (MP3D particles): 1 invalidation per migration;
+* **mostly-read** — read by many, occasionally written (LocusRoute cost
+  cells): the case where invalidations are large and representation
+  accuracy matters most;
+* **frequently read/written** — a flag or counter with high read *and*
+  write traffic (bad for everyone; the paper's motivation to keep such
+  objects out of shared state);
+* **synchronization** — lock objects, handled by the directory's queue
+  (§7), measured separately from data.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.trace.event import Barrier, Lock, Read, TraceOp, Unlock, Work, Write
+from repro.trace.workload import Workload
+
+
+class ReadOnlyPattern(Workload):
+    """Initialized once by processor 0, then read by everyone repeatedly."""
+
+    name = "pattern_read_only"
+
+    def __init__(self, num_processors: int, *, num_blocks: int = 16,
+                 rounds: int = 6, block_bytes: int = 16, seed: int = 0) -> None:
+        self.num_blocks = num_blocks
+        self.rounds = rounds
+        super().__init__(num_processors, block_bytes=block_bytes, seed=seed)
+
+    def build(self) -> None:
+        self.data = self.space.alloc("table", self.num_blocks, self.block_bytes)
+        self.init_barrier = self.new_barrier()
+
+    def stream(self, proc_id: int) -> Iterator[TraceOp]:
+        if proc_id == 0:
+            for b in range(self.num_blocks):
+                yield Write(self.data.addr(b))
+        yield Barrier(self.init_barrier)
+        for _round in range(self.rounds):
+            for b in range(self.num_blocks):
+                yield Read(self.data.addr(b))
+                yield Work(3)
+
+
+class MigratoryPattern(Workload):
+    """Objects read-modify-written by one processor at a time, in turn."""
+
+    name = "pattern_migratory"
+
+    def __init__(self, num_processors: int, *, num_objects: int = 8,
+                 rounds: int = 4, block_bytes: int = 16, seed: int = 0) -> None:
+        self.num_objects = num_objects
+        self.rounds = rounds
+        super().__init__(num_processors, block_bytes=block_bytes, seed=seed)
+
+    def build(self) -> None:
+        self.objects = self.space.alloc(
+            "migratory", self.num_objects, self.block_bytes
+        )
+        self.turn_barriers = [
+            self.new_barrier()
+            for _ in range(self.rounds * self.num_processors)
+        ]
+
+    def stream(self, proc_id: int) -> Iterator[TraceOp]:
+        p = self.num_processors
+        for r in range(self.rounds):
+            for turn in range(p):
+                if turn == proc_id:
+                    for o in range(self.num_objects):
+                        yield Read(self.objects.addr(o))
+                        yield Work(4)
+                        yield Write(self.objects.addr(o))
+                yield Barrier(self.turn_barriers[r * p + turn])
+
+
+class MostlyReadPattern(Workload):
+    """Read by many (not all) processors, written occasionally by one.
+
+    ``reader_fraction`` controls how many processors read each block per
+    round.  Partial sharing is what makes representation accuracy matter:
+    with *every* processor reading, exact and broadcast schemes send the
+    same invalidations, so the default keeps the sharing degree at half
+    the machine — wide enough to overflow pointers, narrow enough that
+    broadcast pays for its ignorance.
+    """
+
+    name = "pattern_mostly_read"
+
+    def __init__(self, num_processors: int, *, num_blocks: int = 8,
+                 rounds: int = 6, writes_per_round: int = 1,
+                 reader_fraction: float = 0.5,
+                 block_bytes: int = 16, seed: int = 0) -> None:
+        if not 0.0 < reader_fraction <= 1.0:
+            raise ValueError("reader_fraction must be in (0, 1]")
+        self.num_blocks = num_blocks
+        self.rounds = rounds
+        self.writes_per_round = writes_per_round
+        self.reader_fraction = reader_fraction
+        super().__init__(num_processors, block_bytes=block_bytes, seed=seed)
+
+    def build(self) -> None:
+        self.data = self.space.alloc(
+            "mostly_read", self.num_blocks, self.block_bytes
+        )
+        self.round_barriers = [
+            (self.new_barrier(), self.new_barrier()) for _ in range(self.rounds)
+        ]
+        rng = self.rng_for(-1)
+        readers_per_block = max(1, round(self.num_processors * self.reader_fraction))
+        self.readers = [
+            [frozenset(rng.sample(range(self.num_processors), readers_per_block))
+             for _ in range(self.num_blocks)]
+            for _ in range(self.rounds)
+        ]
+        self.writers = [
+            [(rng.randrange(self.num_blocks), rng.randrange(self.num_processors))
+             for _ in range(self.writes_per_round)]
+            for _ in range(self.rounds)
+        ]
+
+    def stream(self, proc_id: int) -> Iterator[TraceOp]:
+        for r in range(self.rounds):
+            read_b, write_b = self.round_barriers[r]
+            for b in range(self.num_blocks):
+                if proc_id in self.readers[r][b]:
+                    yield Read(self.data.addr(b))
+                    yield Work(3)
+            yield Barrier(read_b)
+            for block, writer in self.writers[r]:
+                if writer == proc_id:
+                    yield Write(self.data.addr(block))
+            yield Barrier(write_b)
+
+
+class FrequentReadWritePattern(Workload):
+    """A hot shared counter everyone reads and updates under a lock."""
+
+    name = "pattern_freq_rw"
+
+    def __init__(self, num_processors: int, *, updates_per_proc: int = 8,
+                 block_bytes: int = 16, seed: int = 0) -> None:
+        self.updates_per_proc = updates_per_proc
+        super().__init__(num_processors, block_bytes=block_bytes, seed=seed)
+
+    def build(self) -> None:
+        self.counter = self.space.alloc("hot_counter", 1, 8)
+        self.guard = self.new_lock()
+
+    def stream(self, proc_id: int) -> Iterator[TraceOp]:
+        yield Work(5 * proc_id)  # stagger
+        for _ in range(self.updates_per_proc):
+            yield Lock(self.guard)
+            yield Read(self.counter.addr(0))
+            yield Work(2)
+            yield Write(self.counter.addr(0))
+            yield Unlock(self.guard)
+            yield Work(10)
+
+
+class SynchronizationPattern(Workload):
+    """Pure lock/barrier traffic: the §7 synchronization object class."""
+
+    name = "pattern_sync"
+
+    def __init__(self, num_processors: int, *, num_locks: int = 4,
+                 rounds: int = 6, block_bytes: int = 16, seed: int = 0) -> None:
+        self.num_locks = num_locks
+        self.rounds = rounds
+        super().__init__(num_processors, block_bytes=block_bytes, seed=seed)
+
+    def build(self) -> None:
+        self.locks = self.new_locks(self.num_locks)
+        self.round_barriers = [self.new_barrier() for _ in range(self.rounds)]
+
+    def stream(self, proc_id: int) -> Iterator[TraceOp]:
+        rng = self.rng_for(proc_id)
+        for r in range(self.rounds):
+            lock = self.locks[rng.randrange(self.num_locks)]
+            yield Lock(lock)
+            yield Work(15)
+            yield Unlock(lock)
+            yield Barrier(self.round_barriers[r])
+
+
+#: the five classes of [15], in the order that paper discusses them
+PATTERN_CLASSES = {
+    "read_only": ReadOnlyPattern,
+    "migratory": MigratoryPattern,
+    "mostly_read": MostlyReadPattern,
+    "freq_rw": FrequentReadWritePattern,
+    "sync": SynchronizationPattern,
+}

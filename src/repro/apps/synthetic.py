@@ -1,0 +1,219 @@
+"""Synthetic workloads with controlled sharing patterns.
+
+These complement the four reconstructed applications:
+
+* :class:`SharingDegreeWorkload` — every round, each hot block is read by
+  exactly ``sharers`` processors and then written by one; the in-machine
+  analogue of the Figure 2 random-sharer model, used to test scheme
+  behaviour at a dialed-in sharing degree;
+* :class:`UniformRandomWorkload` — uniformly random reads/writes over a
+  shared heap; a stress test for the protocol and determinism checks;
+* :class:`MultiprogrammedWorkload` — independent sub-applications on
+  disjoint processor ranges and disjoint data (§4.1's multiprogramming
+  argument: with region-aligned placement a coarse vector never sends
+  invalidations into another user's partition).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.trace.event import Barrier, Read, TraceOp, Work, Write
+from repro.trace.workload import Workload
+
+
+class SharingDegreeWorkload(Workload):
+    """Rounds of (``sharers`` readers, then one writer) per hot block."""
+
+    name = "sharing_degree"
+
+    def __init__(
+        self,
+        num_processors: int,
+        *,
+        sharers: int = 4,
+        num_blocks: int = 32,
+        rounds: int = 8,
+        work_cycles: int = 10,
+        write_fraction: float = 1.0,
+        block_bytes: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if not 1 <= sharers <= num_processors:
+            raise ValueError("sharers must be in [1, num_processors]")
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        self.sharers = sharers
+        self.num_blocks = num_blocks
+        self.rounds = rounds
+        self.work_cycles = work_cycles
+        self.write_fraction = write_fraction
+        super().__init__(num_processors, block_bytes=block_bytes, seed=seed)
+
+    def build(self) -> None:
+        self.data = self.space.alloc("hot_blocks", self.num_blocks, self.block_bytes)
+        self.round_barriers = [
+            (self.new_barrier(), self.new_barrier()) for _ in range(self.rounds)
+        ]
+        # deterministic reader/writer choices, shared by all streams;
+        # writer is None for blocks skipped this round (write_fraction < 1)
+        rng = self.rng_for(-1)
+        self.plan = []
+        for _ in range(self.rounds):
+            per_block = []
+            for _b in range(self.num_blocks):
+                readers = rng.sample(range(self.num_processors), self.sharers)
+                if rng.random() < self.write_fraction:
+                    writer = rng.randrange(self.num_processors)
+                else:
+                    writer = None
+                per_block.append((tuple(readers), writer))
+            self.plan.append(per_block)
+
+    def stream(self, proc_id: int) -> Iterator[TraceOp]:
+        for r in range(self.rounds):
+            read_barrier, write_barrier = self.round_barriers[r]
+            for b, (readers, _writer) in enumerate(self.plan[r]):
+                if proc_id in readers:
+                    yield Read(self.data.addr(b))
+                    yield Work(self.work_cycles)
+            yield Barrier(read_barrier)
+            for b, (_readers, writer) in enumerate(self.plan[r]):
+                if proc_id == writer:
+                    yield Write(self.data.addr(b))
+                    yield Work(self.work_cycles)
+            yield Barrier(write_barrier)
+
+
+class UniformRandomWorkload(Workload):
+    """Uniform random references over a shared heap (stress test)."""
+
+    name = "uniform_random"
+
+    def __init__(
+        self,
+        num_processors: int,
+        *,
+        refs_per_proc: int = 200,
+        heap_blocks: int = 64,
+        write_fraction: float = 0.3,
+        work_cycles: int = 2,
+        block_bytes: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+        self.refs_per_proc = refs_per_proc
+        self.heap_blocks = heap_blocks
+        self.write_fraction = write_fraction
+        self.work_cycles = work_cycles
+        super().__init__(num_processors, block_bytes=block_bytes, seed=seed)
+
+    def build(self) -> None:
+        self.heap = self.space.alloc("heap", self.heap_blocks, self.block_bytes)
+
+    def stream(self, proc_id: int) -> Iterator[TraceOp]:
+        rng = self.rng_for(proc_id)
+        for _ in range(self.refs_per_proc):
+            addr = self.heap.addr(rng.randrange(self.heap_blocks))
+            if rng.random() < self.write_fraction:
+                yield Write(addr)
+            else:
+                yield Read(addr)
+            yield Work(self.work_cycles)
+
+
+class MultiprogrammedWorkload(Workload):
+    """Independent per-partition applications on disjoint data (§4.1).
+
+    The machine's processors are split into ``partitions`` equal ranges;
+    each partition runs its own sharing-degree kernel on its own blocks.
+    With region-aligned partitions a coarse vector's extraneous
+    invalidations stay inside the writing user's partition; with
+    ``scatter=True`` processors are dealt round-robin across partitions
+    (deliberately misaligned with coarse-vector regions) so region bits
+    span users and invalidations leak between them.
+    """
+
+    name = "multiprogrammed"
+
+    def __init__(
+        self,
+        num_processors: int,
+        *,
+        partitions: int = 4,
+        scatter: bool = False,
+        sharers: int = 4,
+        blocks_per_partition: int = 16,
+        rounds: int = 6,
+        block_bytes: int = 16,
+        seed: int = 0,
+    ) -> None:
+        if num_processors % partitions:
+            raise ValueError("partitions must divide num_processors")
+        self.partitions = partitions
+        self.scatter = scatter
+        self.sharers = min(sharers, num_processors // partitions)
+        self.blocks_per_partition = blocks_per_partition
+        self.rounds = rounds
+        super().__init__(num_processors, block_bytes=block_bytes, seed=seed)
+
+    def build(self) -> None:
+        self.data = self.space.alloc(
+            "partition_blocks",
+            self.partitions * self.blocks_per_partition,
+            self.block_bytes,
+        )
+        per = self.num_processors // self.partitions
+        if self.scatter:
+            self.members: List[List[int]] = [
+                [q * self.partitions + part for q in range(per)]
+                for part in range(self.partitions)
+            ]
+        else:
+            self.members = [
+                list(range(part * per, (part + 1) * per))
+                for part in range(self.partitions)
+            ]
+        rng = self.rng_for(-1)
+        # per round, per partition: (readers, writer) on each block
+        self.plan = []
+        for _ in range(self.rounds):
+            round_plan = []
+            for part in range(self.partitions):
+                members = self.members[part]
+                blocks = []
+                for _b in range(self.blocks_per_partition):
+                    readers = tuple(rng.sample(members, self.sharers))
+                    writer = rng.choice(members)
+                    blocks.append((readers, writer))
+                round_plan.append(blocks)
+            self.plan.append(round_plan)
+        self.round_barriers = [
+            (self.new_barrier(), self.new_barrier()) for _ in range(self.rounds)
+        ]
+
+    def partition_of(self, proc_id: int) -> int:
+        """Which user partition a processor belongs to."""
+        for part, members in enumerate(self.members):
+            if proc_id in members:
+                return part
+        raise ValueError(proc_id)  # pragma: no cover - unreachable
+
+    def _block_addr(self, partition: int, b: int) -> int:
+        return self.data.addr(partition * self.blocks_per_partition + b)
+
+    def stream(self, proc_id: int) -> Iterator[TraceOp]:
+        part = self.partition_of(proc_id)
+        for r in range(self.rounds):
+            read_barrier, write_barrier = self.round_barriers[r]
+            for b, (readers, _writer) in enumerate(self.plan[r][part]):
+                if proc_id in readers:
+                    yield Read(self._block_addr(part, b))
+                    yield Work(5)
+            yield Barrier(read_barrier)
+            for b, (_readers, writer) in enumerate(self.plan[r][part]):
+                if proc_id == writer:
+                    yield Write(self._block_addr(part, b))
+                    yield Work(5)
+            yield Barrier(write_barrier)

@@ -1,0 +1,300 @@
+"""Command-line interface: run paper experiments without writing code.
+
+Subcommands::
+
+    python -m repro run --app LU --scheme Dir3CV2 --procs 32
+    python -m repro compare --app LocusRoute --schemes full,Dir3CV2,Dir3B
+    python -m repro characterize --app DWF
+    python -m repro overhead --nodes 64 --scheme Dir3CV2 --sparsity 4
+    python -m repro fig2 --nodes 32 --schemes full,Dir3B,Dir3CV2
+    python -m repro dump-trace --app MP3D --out mp3d.trace
+    python -m repro replay --trace mp3d.trace --scheme Dir3B
+
+Applications accept ``--scale`` to grow/shrink the default problem
+size.  All simulations print the message breakdown and invalidation
+statistics the paper reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import (
+    ascii_chart,
+    exact_expected_invalidations,
+    figure2_series,
+    format_histogram,
+    format_series,
+    format_table,
+)
+from repro.apps import DWFWorkload, LocusRouteWorkload, LUWorkload, MP3DWorkload
+from repro.core import make_scheme
+from repro.core.overhead import directory_overhead, savings_factor
+from repro.machine import MachineConfig, run_workload
+from repro.trace import Workload, characterize
+from repro.trace.recorder import ReplayWorkload, dump_trace
+
+
+def _app_factory(name: str, procs: int, scale: float, seed: int) -> Workload:
+    """Build a named application scaled around its default size."""
+    key = name.lower()
+    if key == "lu":
+        return LUWorkload(procs, matrix_n=max(4, int(48 * scale)), seed=seed)
+    if key == "dwf":
+        return DWFWorkload(
+            procs,
+            pattern_len=max(procs, int(2 * procs * scale)),
+            library_len=max(16, int(128 * scale)),
+            seed=seed,
+        )
+    if key == "mp3d":
+        return MP3DWorkload(
+            procs,
+            num_particles=max(procs, int(16 * procs * scale)),
+            steps=max(1, int(4 * scale)),
+            seed=seed,
+        )
+    if key == "locusroute":
+        regions = 8 if procs >= 8 else max(1, procs)
+        cols = 16 * regions
+        return LocusRouteWorkload(
+            procs,
+            grid_cols=cols,
+            grid_rows=16,
+            num_regions=regions,
+            wires_per_region=max(2, int(16 * scale)),
+            seed=seed,
+        )
+    raise SystemExit(
+        f"unknown application {name!r}; choose LU, DWF, MP3D, or LocusRoute"
+    )
+
+
+def _machine(args, scheme: Optional[str] = None) -> MachineConfig:
+    return MachineConfig(
+        num_clusters=args.procs,
+        scheme=scheme or args.scheme,
+        l1_bytes=args.l1_bytes,
+        l2_bytes=args.l2_bytes,
+        sparse_size_factor=args.sparse,
+        sparse_assoc=args.sparse_assoc,
+        sparse_policy=args.sparse_policy,
+        seed=args.seed,
+    )
+
+
+def _print_stats(stats) -> None:
+    print(f"execution time      : {stats.exec_time:,.0f} cycles")
+    print(f"total messages      : {stats.total_messages:,}")
+    for kind, count in stats.traffic_breakdown().items():
+        print(f"  {kind:10s}        : {count:,}")
+    print(f"invalidation events : {stats.invalidation_events():,}")
+    print(f"avg invals per event: {stats.avg_invals_per_event:.2f}")
+    if stats.sparse_replacements:
+        print(f"sparse replacements : {stats.sparse_replacements:,}")
+
+
+def cmd_run(args) -> int:
+    """``repro run``: one app under one scheme, stats printed."""
+    workload = _app_factory(args.app, args.procs, args.scale, args.seed)
+    stats = run_workload(_machine(args), workload, check=args.check)
+    print(f"{workload.name} on {args.procs} processors, scheme {args.scheme}")
+    _print_stats(stats)
+    if args.histogram:
+        print("\ninvalidation distribution:")
+        print(format_histogram(stats.inval_distribution()))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """``repro compare``: one app across schemes, normalized table."""
+    schemes = args.schemes.split(",")
+    rows = []
+    base = None
+    for scheme in schemes:
+        workload = _app_factory(args.app, args.procs, args.scale, args.seed)
+        stats = run_workload(_machine(args, scheme), workload)
+        if base is None:
+            base = stats
+        rows.append([
+            scheme,
+            round(stats.exec_time / base.exec_time, 3),
+            round(stats.total_messages / base.total_messages, 3),
+            stats.requests,
+            stats.replies,
+            stats.inval_plus_ack,
+        ])
+    print(f"{args.app} on {args.procs} processors "
+          f"(normalized to {schemes[0]}):")
+    print(format_table(
+        ["scheme", "norm exec", "norm msgs", "requests", "replies",
+         "inval+ack"], rows,
+    ))
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    """``repro characterize``: Table 2 columns for one app."""
+    workload = _app_factory(args.app, args.procs, args.scale, args.seed)
+    st = characterize(workload)
+    print(format_table(
+        ["app", "shared refs", "reads", "writes", "sync ops", "shared KB"],
+        [[st.name, st.shared_refs, st.shared_reads, st.shared_writes,
+          st.sync_ops, round(st.shared_bytes / 1024, 1)]],
+    ))
+    return 0
+
+
+def cmd_overhead(args) -> int:
+    """``repro overhead``: analytic directory-memory cost."""
+    scheme = make_scheme(args.scheme, args.nodes)
+    ov = directory_overhead(scheme, args.block_bytes, sparsity=args.sparsity)
+    print(f"scheme          : {scheme.name} on {args.nodes} nodes")
+    print(f"bits per entry  : {ov.bits_per_entry}")
+    print(f"bits per block  : {ov.bits_per_block:.2f}")
+    print(f"overhead        : {ov.overhead_percent:.2f}%")
+    if args.sparsity > 1:
+        print(f"savings factor  : "
+              f"{savings_factor(scheme, args.block_bytes, args.sparsity):.1f}x "
+              f"vs non-sparse")
+    return 0
+
+
+def cmd_fig2(args) -> int:
+    """``repro fig2``: invalidations-vs-sharers series (MC or exact)."""
+    schemes = args.schemes.split(",")
+    if args.exact:
+        series = {}
+        for name in schemes:
+            series[name] = [
+                exact_expected_invalidations(name, args.nodes, k)
+                for k in range(args.max_sharers + 1)
+            ]
+    else:
+        series = figure2_series(
+            schemes, args.nodes, max_sharers=args.max_sharers,
+            trials=args.trials,
+        )
+    if args.chart:
+        print(ascii_chart(series, x_label="sharers"))
+        print()
+    print(format_series(series, x_label="sharers"))
+    return 0
+
+
+def cmd_dump_trace(args) -> int:
+    """``repro dump-trace``: write an app's reference trace to a file."""
+    workload = _app_factory(args.app, args.procs, args.scale, args.seed)
+    ops = dump_trace(workload, args.out)
+    print(f"wrote {ops:,} ops for {workload.num_processors} processors "
+          f"to {args.out}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """``repro replay``: simulate a previously dumped trace."""
+    workload = ReplayWorkload(args.trace)
+    cfg = MachineConfig(
+        num_clusters=workload.num_processors,
+        scheme=args.scheme,
+        block_bytes=workload.block_bytes,
+        seed=args.seed,
+    )
+    stats = run_workload(cfg, workload)
+    print(f"replayed {args.trace} under {args.scheme}")
+    _print_stats(stats)
+    return 0
+
+
+def _add_machine_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--procs", type=int, default=32, help="processors (= clusters)")
+    p.add_argument("--scheme", default="full", help="directory scheme name")
+    p.add_argument("--scale", type=float, default=1.0, help="problem-size scale")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--l1-bytes", type=int, default=64 * 1024)
+    p.add_argument("--l2-bytes", type=int, default=256 * 1024)
+    p.add_argument("--sparse", type=float, default=None,
+                   help="sparse directory size factor (omit for full map)")
+    p.add_argument("--sparse-assoc", type=int, default=4)
+    p.add_argument("--sparse-policy", default="random",
+                   choices=["lru", "lra", "random"])
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro argument parser (exposed for docs/tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="simulate one app under one scheme")
+    _add_machine_args(p)
+    p.add_argument("--app", required=True)
+    p.add_argument("--check", action="store_true",
+                   help="verify coherence invariants after the run")
+    p.add_argument("--histogram", action="store_true",
+                   help="print the invalidation distribution")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("compare", help="one app across several schemes")
+    _add_machine_args(p)
+    p.add_argument("--app", required=True)
+    p.add_argument("--schemes", default="full,Dir3CV2,Dir3B,Dir3NB")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("characterize", help="Table 2 columns for one app")
+    _add_machine_args(p)
+    p.add_argument("--app", required=True)
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("overhead", help="directory memory overhead (Table 1)")
+    p.add_argument("--nodes", type=int, default=32)
+    p.add_argument("--scheme", default="full")
+    p.add_argument("--block-bytes", type=int, default=16)
+    p.add_argument("--sparsity", type=float, default=1.0)
+    p.set_defaults(func=cmd_overhead)
+
+    p = sub.add_parser("fig2", help="average invalidations vs sharers")
+    p.add_argument("--nodes", type=int, default=32)
+    p.add_argument("--schemes", default="full,Dir3B,Dir3CV2")
+    p.add_argument("--max-sharers", type=int, default=16)
+    p.add_argument("--trials", type=int, default=200)
+    p.add_argument("--chart", action="store_true",
+                   help="render an ASCII line chart above the table")
+    p.add_argument("--exact", action="store_true",
+                   help="closed-form expectations instead of Monte Carlo "
+                        "(full, Dir_iB, Dir_iCV_r only)")
+    p.set_defaults(func=cmd_fig2)
+
+    p = sub.add_parser("dump-trace", help="write an app's trace to a file")
+    _add_machine_args(p)
+    p.add_argument("--app", required=True)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_dump_trace)
+
+    p = sub.add_parser("replay", help="simulate a dumped trace file")
+    p.add_argument("--trace", required=True)
+    p.add_argument("--scheme", default="full")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_replay)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # output piped into head/less and closed
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

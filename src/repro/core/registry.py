@@ -1,0 +1,77 @@
+"""Name-based scheme construction, e.g. ``make_scheme("Dir3CV2", 32)``.
+
+Benchmarks, examples, and the command-line snippets in the README all
+refer to schemes by the paper's notation; this module parses it:
+
+* ``DirN`` / ``full``                → full bit vector
+* ``Dir<i>B`` / ``broadcast``        → limited pointers with broadcast
+* ``Dir<i>NB`` / ``nonbroadcast``    → limited pointers without broadcast
+* ``Dir<i>X`` / ``superset``         → composite-pointer superset scheme
+* ``Dir<i>CV<r>`` / ``coarse``       → coarse vector (the paper's proposal)
+* ``DirLL`` / ``linkedlist``         → SCI-style linked list (extension)
+* ``Dir<i>OF<c>`` / ``overflow``     → wide-entry overflow cache (extension)
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict
+
+from repro.core.base import DirectoryScheme
+from repro.core.coarse_vector import CoarseVectorScheme
+from repro.core.full_bit_vector import FullBitVectorScheme
+from repro.core.limited_pointer import (
+    LimitedPointerBroadcastScheme,
+    LimitedPointerNoBroadcastScheme,
+)
+from repro.core.linked_list import LinkedListScheme
+from repro.core.overflow_cache import OverflowCacheScheme
+from repro.core.superset import SupersetScheme
+
+SCHEME_FACTORIES: Dict[str, Callable[..., DirectoryScheme]] = {
+    "full": FullBitVectorScheme,
+    "broadcast": LimitedPointerBroadcastScheme,
+    "nonbroadcast": LimitedPointerNoBroadcastScheme,
+    "superset": SupersetScheme,
+    "coarse": CoarseVectorScheme,
+    "linkedlist": LinkedListScheme,
+    "overflow": OverflowCacheScheme,
+}
+
+_PATTERNS = [
+    # order matters: NB before B, CV/OF before bare numeric forms
+    (re.compile(r"^dir(\d+)nb$"), lambda m, n, s: LimitedPointerNoBroadcastScheme(n, int(m.group(1)), seed=s)),
+    (re.compile(r"^dir(\d+)b$"), lambda m, n, s: LimitedPointerBroadcastScheme(n, int(m.group(1)), seed=s)),
+    (re.compile(r"^dir(\d+)x$"), lambda m, n, s: SupersetScheme(n, int(m.group(1)), seed=s)),
+    (re.compile(r"^dir(\d+)cv(\d+)$"), lambda m, n, s: CoarseVectorScheme(n, int(m.group(1)), int(m.group(2)), seed=s)),
+    (re.compile(r"^dir(\d+)of(\d+)$"), lambda m, n, s: OverflowCacheScheme(n, int(m.group(1)), int(m.group(2)), seed=s)),
+    (re.compile(r"^dirll$"), lambda m, n, s: LinkedListScheme(n, seed=s)),
+    (re.compile(r"^dirn$"), lambda m, n, s: FullBitVectorScheme(n, seed=s)),
+    (re.compile(r"^dir(\d+)$"), None),  # handled specially below
+]
+
+
+def make_scheme(name: str, num_nodes: int, *, seed: int = 0) -> DirectoryScheme:
+    """Build a scheme from the paper's ``Dir...`` notation or an alias.
+
+    ``Dir<k>`` with ``k == num_nodes`` (e.g. ``Dir32`` on a 32-node
+    machine) means the full bit vector, matching the paper's usage.
+    """
+    key = name.strip().lower().replace("_", "").replace(" ", "")
+    if key in SCHEME_FACTORIES:
+        return SCHEME_FACTORIES[key](num_nodes, seed=seed)
+    for pattern, build in _PATTERNS:
+        m = pattern.match(key)
+        if not m:
+            continue
+        if build is not None:
+            return build(m, num_nodes, seed)
+        k = int(m.group(1))
+        if k == num_nodes:
+            return FullBitVectorScheme(num_nodes, seed=seed)
+        raise ValueError(
+            f"'Dir{k}' is the full-bit-vector notation; it must equal the "
+            f"node count ({num_nodes}). Did you mean 'Dir{k}B', 'Dir{k}NB', "
+            f"or 'Dir{k}CV<r>'?"
+        )
+    raise ValueError(f"unrecognized scheme name {name!r}")

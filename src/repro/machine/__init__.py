@@ -1,0 +1,37 @@
+"""DASH-style multiprocessor substrate (the paper's evaluation platform).
+
+An event-driven simulation of the Stanford DASH architecture as described
+in §2 and §5 of the paper: processing clusters joined by an interconnect,
+per-processor two-level caches, distributed memory with per-cluster
+directory controllers, queue-based locks and barriers, and the four
+message classes the paper counts (requests incl. writebacks, replies,
+invalidations, acknowledgements).
+
+Granularity: transactions are serialized per block at their home
+directory and their state effects are applied atomically at service time;
+latency composition and controller-occupancy queueing determine *when*
+requesters resume.  This is the level the paper's own simulator reports
+at (message counts and relative execution times), and it makes runs
+deterministic under a fixed seed.
+"""
+
+from repro.machine.config import MachineConfig
+from repro.machine.events import EventQueue
+from repro.machine.messages import MsgClass
+from repro.machine.network import MeshNetwork, Network, UniformNetwork, make_network
+from repro.machine.stats import InvalCause, SimStats
+from repro.machine.system import DashSystem, run_workload
+
+__all__ = [
+    "MachineConfig",
+    "EventQueue",
+    "MsgClass",
+    "Network",
+    "UniformNetwork",
+    "MeshNetwork",
+    "make_network",
+    "SimStats",
+    "InvalCause",
+    "DashSystem",
+    "run_workload",
+]

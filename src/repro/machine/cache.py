@@ -1,0 +1,193 @@
+"""Processor caches: set-associative levels with DASH's 3-state protocol.
+
+States are per-line: INVALID (absent), SHARED (clean, possibly replicated
+machine-wide), DIRTY (modified, exclusive machine-wide at cluster
+granularity).  The hierarchy follows the DASH prototype: a write-through
+primary cache that only filters hits, and a write-back secondary cache
+that is the coherence point (inclusion is enforced — invalidating or
+evicting an L2 line purges the L1 copy).
+
+Each set is an ``OrderedDict`` tag->state used as an LRU stack: lookups
+move lines to the MRU end; victims pop from the LRU end.  Dirty evictions
+park the block in a *writeback buffer* until the home directory has
+processed the writeback, so a forwarded request racing the writeback
+still finds the data — exactly the role of DASH's writeback buffers.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from enum import IntEnum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class LineState(IntEnum):
+    """Cache-line coherence state; absence from the cache means INVALID."""
+
+    SHARED = 1
+    DIRTY = 2
+
+
+class CacheLevel:
+    """One set-associative cache level (tags only; no data is simulated)."""
+
+    __slots__ = ("num_sets", "assoc", "_sets")
+
+    def __init__(self, capacity_bytes: int, block_bytes: int, assoc: int) -> None:
+        capacity_blocks = max(1, capacity_bytes // block_bytes)
+        assoc = min(assoc, capacity_blocks)
+        self.assoc = assoc
+        self.num_sets = max(1, capacity_blocks // assoc)
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+
+    def _set_of(self, block: int) -> OrderedDict:
+        return self._sets[block % self.num_sets]
+
+    def lookup(self, block: int) -> Optional[LineState]:
+        """State of ``block`` if present; refreshes LRU position."""
+        s = self._set_of(block)
+        state = s.get(block)
+        if state is not None:
+            s.move_to_end(block)
+        return state
+
+    def peek(self, block: int) -> Optional[LineState]:
+        """State without touching LRU (for snoops and invariant checks)."""
+        return self._set_of(block).get(block)
+
+    def install(
+        self, block: int, state: LineState
+    ) -> Optional[Tuple[int, LineState]]:
+        """Fill ``block``; returns the evicted ``(block, state)`` if any."""
+        s = self._set_of(block)
+        if block in s:
+            s[block] = state
+            s.move_to_end(block)
+            return None
+        victim = None
+        if len(s) >= self.assoc:
+            victim = s.popitem(last=False)
+        s[block] = state
+        return victim
+
+    def set_state(self, block: int, state: LineState) -> None:
+        """Change an existing line's state (no-op if absent)."""
+        s = self._set_of(block)
+        if block in s:
+            s[block] = state
+
+    def invalidate(self, block: int) -> Optional[LineState]:
+        """Drop ``block``; returns its state if it was present."""
+        return self._set_of(block).pop(block, None)
+
+    def blocks(self) -> Iterator[Tuple[int, LineState]]:
+        """Iterate over all (block, state) pairs currently cached."""
+        for s in self._sets:
+            yield from s.items()
+
+    def occupancy(self) -> int:
+        """Number of valid lines held."""
+        return sum(len(s) for s in self._sets)
+
+
+class ProcessorCache:
+    """Two-level hierarchy for one processor; L2 is the coherence point."""
+
+    __slots__ = ("l1", "l2", "wb_buffer")
+
+    def __init__(
+        self,
+        block_bytes: int,
+        l1_bytes: int,
+        l1_assoc: int,
+        l2_bytes: int,
+        l2_assoc: int,
+    ) -> None:
+        self.l1 = CacheLevel(l1_bytes, block_bytes, l1_assoc)
+        self.l2 = CacheLevel(l2_bytes, block_bytes, l2_assoc)
+        #: dirty blocks evicted but not yet acknowledged by their home
+        self.wb_buffer: set[int] = set()
+
+    # -- probes (no state change beyond LRU refresh) -----------------------
+
+    def probe_read(self, block: int) -> Optional[str]:
+        """``"l1"`` / ``"l2"`` on a read hit, else ``None``."""
+        if self.l1.lookup(block) is not None:
+            # inclusion: an L1 line always has an L2 backing line
+            self.l2.lookup(block)  # refresh L2 LRU too
+            return "l1"
+        if self.l2.lookup(block) is not None:
+            return "l2"
+        return None
+
+    def probe_write(self, block: int) -> Optional[str]:
+        """``"hit"`` if writable (L2 DIRTY), ``"upgrade"`` if L2 SHARED."""
+        state = self.l2.lookup(block)
+        if state is LineState.DIRTY:
+            self.l1.lookup(block)
+            return "hit"
+        if state is LineState.SHARED:
+            return "upgrade"
+        return None
+
+    def state(self, block: int) -> Optional[LineState]:
+        """Coherence state (L2), no LRU side effects."""
+        return self.l2.peek(block)
+
+    def has_copy(self, block: int) -> bool:
+        """A live (L2) copy exists, any state."""
+        return self.l2.peek(block) is not None
+
+    def holds_dirty(self, block: int) -> bool:
+        """Dirty either in L2 or parked in the writeback buffer."""
+        return self.l2.peek(block) is LineState.DIRTY or block in self.wb_buffer
+
+    # -- state transitions -------------------------------------------------
+
+    def install(self, block: int, state: LineState) -> List[Tuple[int, LineState]]:
+        """Fill both levels; returns evicted ``(block, old_state)`` pairs.
+
+        DIRTY victims are parked in the writeback buffer (the caller must
+        issue the writeback); SHARED victims are reported so the caller
+        can send a replacement hint when that option is enabled.
+        """
+        evictions: List[Tuple[int, LineState]] = []
+        victim = self.l2.install(block, state)
+        if victim is not None:
+            vblock, vstate = victim
+            self.l1.invalidate(vblock)  # inclusion
+            if vstate is LineState.DIRTY:
+                self.wb_buffer.add(vblock)
+            evictions.append((vblock, vstate))
+        self.l1.install(block, LineState.SHARED)  # L1 is write-through/clean
+        return evictions
+
+    def upgrade(self, block: int) -> None:
+        """SHARED -> DIRTY after an ownership grant."""
+        self.l2.set_state(block, LineState.DIRTY)
+
+    def downgrade(self, block: int) -> bool:
+        """DIRTY -> SHARED (read forwarded to this owner).
+
+        Returns True if the line (or its writeback-buffer ghost) was here.
+        """
+        if self.l2.peek(block) is LineState.DIRTY:
+            self.l2.set_state(block, LineState.SHARED)
+            return True
+        if block in self.wb_buffer:
+            # The forward caught our writeback in flight; the buffer
+            # supplies the data and the line is simply gone from here.
+            return True
+        return False
+
+    def invalidate(self, block: int) -> bool:
+        """Drop the block everywhere; returns True if a copy existed."""
+        had = self.l2.invalidate(block) is not None
+        self.l1.invalidate(block)
+        had_wb = block in self.wb_buffer
+        self.wb_buffer.discard(block)
+        return had or had_wb
+
+    def writeback_done(self, block: int) -> None:
+        """Home has processed our writeback; release the buffer slot."""
+        self.wb_buffer.discard(block)

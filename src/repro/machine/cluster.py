@@ -1,0 +1,165 @@
+"""A DASH processing cluster: processors, caches, and the snoopy bus.
+
+Intra-cluster coherence is bus-based (§2): references satisfied inside
+the cluster never generate network messages, which is why the directory
+tracks *clusters*, not processors.  With one processor per cluster — the
+configuration of every experiment in the paper — the bus paths reduce to
+plain hit/miss handling; the multi-processor paths are exercised by the
+DASH-prototype-shaped tests.
+
+Bus rules (Illinois-flavoured, at cluster scope):
+
+* read, sibling has any copy   -> cache-to-cache fill, reader SHARED;
+* write, some local cache DIRTY -> bus ownership transfer (the cluster
+  already owns the block machine-wide, no directory involvement);
+* write, only SHARED copies     -> directory transaction (other clusters
+  may hold copies);
+* otherwise                     -> directory transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.machine.cache import LineState, ProcessorCache
+from repro.machine.config import MachineConfig
+
+
+@dataclass
+class LocalResult:
+    """Outcome of attempting to satisfy a reference inside the cluster."""
+
+    satisfied: bool
+    latency: float = 0.0
+    #: evicted (block, was_dirty) pairs from any fills performed
+    evictions: Tuple[Tuple[int, bool], ...] = ()
+    where: str = ""  # "l1" | "l2" | "bus" for stats
+
+
+class Cluster:
+    """One processing node: ``procs_per_cluster`` caches on a snoopy bus."""
+
+    def __init__(self, cluster_id: int, config: MachineConfig) -> None:
+        self.cluster_id = cluster_id
+        self.config = config
+        self.caches: List[ProcessorCache] = [
+            ProcessorCache(
+                config.block_bytes,
+                config.l1_bytes,
+                config.l1_assoc,
+                config.l2_bytes,
+                config.l2_assoc,
+            )
+            for _ in range(config.procs_per_cluster)
+        ]
+
+    # -- local access paths -------------------------------------------------
+
+    def try_local(self, proc_idx: int, block: int, is_write: bool) -> LocalResult:
+        """Attempt to satisfy the reference without the directory.
+
+        Applies all state changes when it succeeds.  On failure the caller
+        must start a directory transaction; no state has changed.
+        """
+        cache = self.caches[proc_idx]
+        cfg = self.config
+        if not is_write:
+            hit = cache.probe_read(block)
+            if hit == "l1":
+                return LocalResult(True, cfg.l1_hit_cycles, where="l1")
+            if hit == "l2":
+                return LocalResult(True, cfg.l2_hit_cycles, where="l2")
+            if self._sibling_with_copy(block, proc_idx) is not None:
+                evictions = self._install(proc_idx, block, LineState.SHARED)
+                return LocalResult(
+                    True, cfg.bus_transfer_cycles, evictions, where="bus"
+                )
+            return LocalResult(False)
+
+        # write
+        if cache.probe_write(block) == "hit":
+            return LocalResult(True, cfg.l1_hit_cycles, where="l1")
+        if self._owns_live(block):
+            # Cluster is the machine-wide owner: bus ownership transfer.
+            for i, c in enumerate(self.caches):
+                if i != proc_idx:
+                    c.invalidate(block)
+            evictions = self._install(proc_idx, block, LineState.DIRTY)
+            return LocalResult(True, cfg.bus_transfer_cycles, evictions, where="bus")
+        return LocalResult(False)
+
+    def _sibling_with_copy(self, block: int, excluding: int) -> Optional[int]:
+        for i, c in enumerate(self.caches):
+            if i != excluding and (c.has_copy(block) or block in c.wb_buffer):
+                return i
+        return None
+
+    def _owns_live(self, block: int) -> bool:
+        """A *live* DIRTY line exists in some local cache.
+
+        Writeback-buffer ghosts deliberately do not count: once a dirty
+        line has been evicted, the cluster has relinquished ownership and
+        a new write must go through the directory (whose re-grant cancels
+        the in-flight writeback).  Ghosts only serve incoming forwards.
+        """
+        return any(c.l2.peek(block) is LineState.DIRTY for c in self.caches)
+
+    def _install(
+        self, proc_idx: int, block: int, state: LineState
+    ) -> Tuple[Tuple[int, bool], ...]:
+        evictions = self.caches[proc_idx].install(block, state)
+        return tuple(
+            (vblock, vstate is LineState.DIRTY) for vblock, vstate in evictions
+        )
+
+    # -- effects applied by directories ----------------------------------------
+
+    def install_from_directory(
+        self, proc_idx: int, block: int, dirty: bool
+    ) -> Tuple[Tuple[int, bool], ...]:
+        """Fill after a directory transaction completed."""
+        state = LineState.DIRTY if dirty else LineState.SHARED
+        return self._install(proc_idx, block, state)
+
+    def invalidate_block(self, block: int) -> bool:
+        """Bus invalidation broadcast; True if any cache had a copy."""
+        had = False
+        for c in self.caches:
+            had |= c.invalidate(block)
+        return had
+
+    def invalidate_if_clean(self, block: int) -> bool:
+        """Invalidate only a clean copy; dirty data is left untouched.
+
+        Used for directory-group invalidations (shared-entry stores):
+        a dirty group-mate is tracked by its own per-block owner state
+        and must not be silently destroyed.
+        """
+        if self.holds_dirty(block):  # live dirty line or in-flight writeback
+            return False
+        return self.invalidate_block(block)
+
+    def downgrade_block(self, block: int) -> bool:
+        """Owner downgrade for a forwarded read; True if a copy was here."""
+        had = False
+        for c in self.caches:
+            had |= c.downgrade(block)
+        return had
+
+    def has_copy(self, block: int) -> bool:
+        """Any cache here holds the block (incl. writeback-buffer ghosts)."""
+        return any(c.has_copy(block) or block in c.wb_buffer for c in self.caches)
+
+    def holds_dirty(self, block: int) -> bool:
+        """Dirty data lives here (live line or writeback-buffer ghost)."""
+        return any(c.holds_dirty(block) for c in self.caches)
+
+    def copies_besides_wb(self, block: int) -> bool:
+        """Any live cache line (ignoring writeback-buffer ghosts)?"""
+        return any(c.has_copy(block) for c in self.caches)
+
+    def writeback_done(self, block: int) -> None:
+        """Home processed our writeback: release the buffer slot."""
+        for c in self.caches:
+            c.writeback_done(block)

@@ -1,0 +1,455 @@
+"""Per-cluster directory controller: the DASH coherence protocol engine.
+
+Each cluster's controller owns the directory state for the blocks whose
+home it is.  Transactions (read / write / writeback / replacement hint)
+are serialized per block: a block stays *busy* from service until the
+transaction's last effect lands, and later arrivals queue — the same
+global ordering DASH enforces with busy-retry NAKs, but deterministic.
+
+State effects are applied atomically at service time; latency is
+composed from the §5 constants (network legs, memory/bus service,
+directory lookup, remote-cache service, invalidation service) plus FIFO
+queueing on the controller itself, so heavier message traffic slows
+execution the way a busier real machine would.
+
+Invalidation accounting matches the paper's conventions:
+
+* only inter-cluster messages count (the home's own cache is invalidated
+  over its local bus — "the home cluster ... [does] not require an
+  invalidation");
+* every invalidation message is answered by exactly one acknowledgement
+  (to the *requester* for writes, to the home's RAC for sparse
+  replacements and Dir_iNB pointer evictions);
+* an *invalidation event* is a write serviced in a clean state, a
+  Dir_iNB pointer-overflow eviction, or a sparse-directory replacement,
+  histogrammed by how many invalidation messages it sent (Figures 3-6).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Set
+
+from repro.core.sparse import AllWaysBusy, DirectoryStore, DirLine, Eviction
+from repro.machine.messages import MsgClass
+from repro.machine.stats import InvalCause
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.system import DashSystem
+
+READ = "read"
+WRITE = "write"
+WRITEBACK = "writeback"
+HINT = "hint"
+
+
+class Transaction:
+    """One memory transaction travelling to a home directory."""
+
+    __slots__ = ("kind", "block", "requester", "proc_idx", "on_complete", "still_shared")
+
+    def __init__(
+        self,
+        kind: str,
+        block: int,
+        requester: int,
+        proc_idx: int = 0,
+        on_complete: Optional[Callable[[float], None]] = None,
+        still_shared: bool = False,
+    ) -> None:
+        self.kind = kind
+        self.block = block
+        self.requester = requester
+        self.proc_idx = proc_idx
+        self.on_complete = on_complete
+        self.still_shared = still_shared
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Txn {self.kind} block={self.block} from={self.requester}>"
+
+
+class DirectoryController:
+    """Coherence controller for one cluster's slice of memory."""
+
+    def __init__(
+        self, machine: "DashSystem", cluster_id: int, store: DirectoryStore
+    ) -> None:
+        self.machine = machine
+        self.cluster_id = cluster_id
+        self.store = store
+        self._busy: Set[int] = set()
+        self._pending: Dict[int, Deque[Transaction]] = {}
+        self._ctrl_free = 0.0
+        #: (block, cluster) -> number of in-flight writebacks that were
+        #: obsoleted by a subsequent ownership re-grant and must be dropped
+        self._cancelled_wb: Dict[tuple, int] = {}
+        #: grouped writes currently in NAK-retry because a group-mate's
+        #: transaction is in flight (see _execute_write's tie-break)
+        self._deferred_writes: Set[int] = set()
+
+    # -- submission (requester side) ----------------------------------------
+
+    def submit(self, txn: Transaction) -> None:
+        """Send ``txn`` to this home; called at the requester's issue time."""
+        machine = self.machine
+        machine.count_msg(MsgClass.REQUEST, txn.requester, self.cluster_id)
+        arrival = machine.events.now + machine.network.leg(
+            txn.requester, self.cluster_id
+        )
+        machine.events.at(arrival, lambda: self._arrive(txn))
+
+    def _arrive(self, txn: Transaction) -> None:
+        if txn.block in self._busy:
+            self._pending.setdefault(txn.block, deque()).append(txn)
+            return
+        self._busy.add(txn.block)
+        self._start(txn)
+
+    def _start(self, txn: Transaction) -> None:
+        """Queue on the controller (FIFO occupancy), then execute."""
+        now = self.machine.events.now
+        start = max(now, self._ctrl_free)
+        self._ctrl_free = start + self.machine.config.ctrl_occupancy_cycles
+        if start > now:
+            self.machine.events.at(start, lambda: self._execute(txn))
+        else:
+            self._execute(txn)
+
+    # -- execution ------------------------------------------------------------
+
+    def _execute(self, txn: Transaction) -> None:
+        if txn.kind == READ:
+            try:
+                delta = self._execute_read(txn)
+            except AllWaysBusy:
+                self._retry_later(txn)
+                return
+        elif txn.kind == WRITE:
+            try:
+                delta = self._execute_write(txn)
+            except AllWaysBusy:
+                self._retry_later(txn)
+                return
+        elif txn.kind == WRITEBACK:
+            delta = self._execute_writeback(txn)
+        elif txn.kind == HINT:
+            delta = self._execute_hint(txn)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown transaction kind {txn.kind!r}")
+        self.machine.events.after(delta, lambda: self._finish(txn))
+
+    def _retry_later(self, txn: Transaction) -> None:
+        """Sparse allocation could not victimize anyone (all ways pinned by
+        in-flight transactions): retry after a short backoff — the
+        simulation analogue of DASH's busy NAK.  The pinned transactions
+        complete at fixed future times, so this always terminates."""
+        delay = self.machine.config.ctrl_occupancy_cycles + 1.0
+        self.machine.events.after(delay, lambda: self._execute(txn))
+
+    def _pinned_blocks(self, current: int) -> frozenset:
+        """Blocks whose directory entries must not be victimized now."""
+        return frozenset(b for b in self._busy if b != current)
+
+    def _finish(self, txn: Transaction) -> None:
+        now = self.machine.events.now
+        if txn.on_complete is not None:
+            # Completion effects (requester fill, processor resume) must be
+            # visible before the next transaction on this block executes.
+            txn.on_complete(now)
+        self._busy.discard(txn.block)
+        queue = self._pending.get(txn.block)
+        if queue:
+            nxt = queue.popleft()
+            if not queue:
+                del self._pending[txn.block]
+            self._busy.add(txn.block)
+            self._start(nxt)
+
+    # -- reads ------------------------------------------------------------------
+
+    def _execute_read(self, txn: Transaction) -> float:
+        cfg = self.machine.config
+        net = self.machine.network
+        home = self.cluster_id
+        req = txn.requester
+        line, evictions = self.store.get_or_allocate(
+            txn.block, avoid=self._pinned_blocks(txn.block)
+        )
+        delta = self._process_sparse_evictions(evictions)
+
+        if line.dirty and line.owner is not None and line.owner != req:
+            # Forward to the owning cluster: it downgrades to SHARED,
+            # supplies the data, and sends a sharing writeback home.
+            owner = line.owner
+            found = self.machine.clusters[owner].downgrade_block(txn.block)
+            if not found and self.machine.strict:  # pragma: no cover
+                raise RuntimeError(
+                    f"coherence bug: forward for block {txn.block} found no "
+                    f"copy at owner cluster {owner}"
+                )
+            line.dirty = False
+            line.owner = None
+            # no entry.reset(): while a block is dirty its presence entry
+            # records no sharers of it (at most the pooled group-mates of
+            # a SharedEntryDirectory, which must be preserved)
+            self._record_sharer(line, owner, txn.block)
+            self._record_sharer(line, req, txn.block)
+            self.machine.count_msg(MsgClass.REQUEST, home, owner)  # forward
+            self.machine.count_msg(MsgClass.REPLY, owner, req)  # data
+            self.machine.count_msg(MsgClass.REQUEST, owner, home)  # sharing wb
+            return (
+                delta
+                + cfg.dir_service_cycles
+                + net.leg(home, owner)
+                + cfg.cache_service_cycles
+                + net.leg(owner, req)
+            )
+
+        if line.dirty and line.owner == req:
+            # The requester evicted its dirty copy and is re-reading while
+            # its writeback is still in flight: serve from the (logically
+            # written-back) data and cancel the obsolete writeback.
+            self._cancel_inflight_writeback(txn.block, req)
+            line.dirty = False
+            line.owner = None
+        self._record_sharer(line, req, txn.block)
+        self.machine.count_msg(MsgClass.REPLY, home, req)
+        return delta + cfg.bus_cycles + net.leg(home, req)
+
+    def _record_sharer(self, line: DirLine, node: int, block: int) -> None:
+        """Add a sharer, handling Dir_iNB's forced evictions."""
+        victims = line.entry.record_sharer(node)
+        if not victims:
+            return
+        machine = self.machine
+        cfg = machine.config
+        home = self.cluster_id
+        inval_msgs = 0
+        for victim in victims:
+            machine.clusters[victim].invalidate_block(block)
+            if victim != home:
+                machine.count_msg(MsgClass.INVALIDATION, home, victim)
+                machine.count_msg(MsgClass.ACKNOWLEDGEMENT, victim, home)
+                inval_msgs += 1
+        machine.stats.nb_evictions += len(victims)
+        machine.stats.record_inval_event(InvalCause.NB_EVICT, inval_msgs)
+
+    # -- writes -----------------------------------------------------------------
+
+    def _execute_write(self, txn: Transaction) -> float:
+        cfg = self.machine.config
+        net = self.machine.network
+        machine = self.machine
+        home = self.cluster_id
+        req = txn.requester
+        line, evictions = self.store.get_or_allocate(
+            txn.block, avoid=self._pinned_blocks(txn.block)
+        )
+        delta = self._process_sparse_evictions(evictions)
+
+        if line.dirty and line.owner is not None and line.owner != req:
+            # Ownership transfer: forward to owner, which invalidates its
+            # copy, sends data+ownership to the requester, and notifies us.
+            owner = line.owner
+            machine.clusters[owner].invalidate_block(txn.block)
+            line.owner = req  # stays dirty
+            machine.count_msg(MsgClass.REQUEST, home, owner)  # forward
+            machine.count_msg(MsgClass.REPLY, owner, req)  # data+ownership
+            machine.count_msg(MsgClass.REQUEST, owner, home)  # transfer notice
+            return (
+                delta
+                + cfg.dir_service_cycles
+                + net.leg(home, owner)
+                + cfg.cache_service_cycles
+                + net.leg(owner, req)
+            )
+
+        if line.dirty and line.owner == req:
+            # Re-granting ownership to a cluster whose writeback is still
+            # in flight: the writeback is obsolete, drop it on arrival.
+            self._cancel_inflight_writeback(txn.block, req)
+            line.dirty = False
+            line.owner = None
+            # the entry holds no sharers of this block while dirty; any
+            # pooled group-mate sharers it holds fall through to the
+            # normal target collection below (conservative)
+
+        # Clean/shared (the paper's "invalidation event"): collect targets,
+        # invalidate them, count invals and the acks the requester awaits.
+        # Invalidations leave the directory back to back — the memory-based
+        # directory "can send invalidation messages as fast as the network
+        # can accept them" (§3.3), i.e. one per issue slot, so a broadcast
+        # both occupies the controller longer and delays its last ack.
+        serial = getattr(machine.scheme, "serial_invalidations", False)
+        if serial and hasattr(line.entry, "invalidation_chain"):
+            # SCI order: unravel the list head-first (§3.3)
+            targets = list(line.entry.invalidation_chain(exclude=(req,)))
+        else:
+            targets = sorted(line.entry.invalidation_targets(exclude=(req,)))
+        # A store that pools several blocks' presence into one entry
+        # (SharedEntryDirectory) resets the whole group's knowledge below,
+        # so clean copies of every group-mate must also die now.
+        group_mates = [
+            b
+            for b in self.store.blocks_invalidated_with(txn.block)
+            if b != txn.block
+        ]
+        blockers = [b for b in group_mates if b in self._busy]
+        if blockers and not all(
+            b in self._deferred_writes and txn.block < b for b in blockers
+        ):
+            # A group-mate's transaction is still in flight: its requester
+            # installs a copy only at completion, after our entry reset
+            # would have forgotten it.  NAK-retry until the group is quiet.
+            # Mutually-deferred grouped writes would livelock, so the
+            # lowest block id among deferred writers wins the tie.
+            self._deferred_writes.add(txn.block)
+            raise AllWaysBusy(f"group-mate of block {txn.block} busy")
+        self._deferred_writes.discard(txn.block)
+        inval_msgs = 0
+        worst_ack = 0.0
+        serial_path = 0.0
+        for i, t in enumerate(targets):
+            machine.clusters[t].invalidate_block(txn.block)
+            for mate in group_mates:
+                machine.clusters[t].invalidate_if_clean(mate)
+            if t != home:
+                machine.count_msg(MsgClass.INVALIDATION, home, t)
+                inval_msgs += 1
+            machine.count_msg(MsgClass.ACKNOWLEDGEMENT, t, req)
+            if serial:
+                # cache-based linked list: "each write produces a serial
+                # string of invalidations ... having to walk through the
+                # list, cache-by-cache" — one full hop+service per sharer
+                # before the next can start (§3.3)
+                prev = home if i == 0 else targets[i - 1]
+                serial_path += net.leg(prev, t) + cfg.inval_service_cycles
+                worst_ack = max(worst_ack, serial_path + net.leg(t, req))
+            else:
+                # memory-based directory: invalidations leave back to back,
+                # "as fast as the network can accept them" (§3.3)
+                worst_ack = max(
+                    worst_ack,
+                    (i + 1) * cfg.inval_issue_cycles
+                    + net.leg(home, t)
+                    + cfg.inval_service_cycles
+                    + net.leg(t, req),
+                )
+        if not serial:
+            self._ctrl_free += len(targets) * cfg.inval_issue_cycles
+        machine.stats.record_inval_event(InvalCause.WRITE, inval_msgs)
+        machine.count_msg(MsgClass.REPLY, home, req)  # ownership (+inval count)
+
+        line.dirty = True
+        line.owner = req
+        line.entry.reset()
+        if group_mates:
+            # The pooled entry also covered the writer's possible copies of
+            # the group-mates (which were not invalidated); keep the writer
+            # recorded so the directory stays conservative for them.
+            line.entry.record_sharer(req)
+
+        reply_path = cfg.bus_cycles + net.leg(home, req)
+        ack_path = (cfg.dir_service_cycles + worst_ack) if targets else 0.0
+        return delta + max(reply_path, ack_path)
+
+    # -- writebacks and hints ------------------------------------------------------
+
+    def _cancel_inflight_writeback(self, block: int, cluster: int) -> None:
+        """Mark the cluster's pending writeback for this block obsolete.
+
+        Also clears the writeback-buffer ghost now: the directory has
+        logically absorbed the data, and the block is busy until this
+        transaction completes, so no forward can need the ghost meanwhile.
+        """
+        if self.machine.clusters[cluster].holds_dirty(block):
+            key = (block, cluster)
+            self._cancelled_wb[key] = self._cancelled_wb.get(key, 0) + 1
+            self.machine.clusters[cluster].writeback_done(block)
+
+    def _execute_writeback(self, txn: Transaction) -> float:
+        cfg = self.machine.config
+        req = txn.requester
+        key = (txn.block, req)
+        pending_cancels = self._cancelled_wb.get(key, 0)
+        if pending_cancels:
+            # Obsoleted by a later ownership re-grant: drop silently.
+            if pending_cancels == 1:
+                del self._cancelled_wb[key]
+            else:
+                self._cancelled_wb[key] = pending_cancels - 1
+            return cfg.dir_service_cycles
+        line = self.store.lookup(txn.block)
+        if line is not None and line.dirty and line.owner == req:
+            line.dirty = False
+            line.owner = None
+            # no entry.reset(): empty for per-block stores while dirty, and
+            # a pooled (shared-entry) store must keep its group-mates
+            # A local bus read may have re-filled a cache from the
+            # writeback buffer after this writeback left, so consult the
+            # cluster's *current* state, not just the captured flag.
+            still_shared = txn.still_shared or self.machine.clusters[
+                req
+            ].copies_besides_wb(txn.block)
+            if still_shared:
+                # Another cache in the evicting cluster still holds the
+                # block: keep the cluster recorded as a (clean) sharer.
+                line.entry.record_sharer(req)
+            else:
+                self.store.release(txn.block)
+        # else: stale writeback (ownership already moved on) — drop it.
+        self.machine.clusters[req].writeback_done(txn.block)
+        return cfg.bus_cycles
+
+    def _execute_hint(self, txn: Transaction) -> float:
+        cfg = self.machine.config
+        line = self.store.lookup(txn.block)
+        if line is not None and not line.dirty:
+            line.entry.remove_sharer(txn.requester)
+            if line.is_empty():
+                self.store.release(txn.block)
+        return cfg.dir_service_cycles
+
+    # -- sparse replacement ----------------------------------------------------------
+
+    def _process_sparse_evictions(self, evictions: List[Eviction]) -> float:
+        """Invalidate all copies of replaced entries' blocks (RAC duty).
+
+        Returns the latency penalty charged to the triggering transaction:
+        the slot is only reusable once every acknowledgement has returned
+        to the home's Remote Access Cache (§7).
+        """
+        if not evictions:
+            return 0.0
+        machine = self.machine
+        cfg = machine.config
+        net = machine.network
+        home = self.cluster_id
+        penalty = 0.0
+        for ev in evictions:
+            machine.stats.sparse_replacements += 1
+            inval_msgs = 0
+            worst = 0.0
+            for i, t in enumerate(ev.targets):
+                machine.clusters[t].invalidate_block(ev.block)
+                if t != home:
+                    machine.count_msg(MsgClass.INVALIDATION, home, t)
+                    machine.count_msg(MsgClass.ACKNOWLEDGEMENT, t, home)
+                    inval_msgs += 1
+                worst = max(
+                    worst,
+                    (i + 1) * cfg.inval_issue_cycles
+                    + net.leg(home, t)
+                    + cfg.inval_service_cycles
+                    + net.leg(t, home),
+                )
+            self._ctrl_free += len(ev.targets) * cfg.inval_issue_cycles
+            if ev.targets:
+                machine.stats.record_inval_event(InvalCause.SPARSE_REPL, inval_msgs)
+            penalty = max(penalty, worst)
+        # The RAC entry tracking this recall holds the *slot* until every
+        # acknowledgement has returned (§7): the triggering transaction
+        # waits out `penalty`, but the controller itself stays available
+        # to other blocks (DASH has multiple RAC entries), beyond the
+        # per-invalidation issue occupancy charged above.
+        return penalty

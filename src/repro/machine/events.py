@@ -1,0 +1,55 @@
+"""Deterministic discrete-event kernel.
+
+A single priority queue keyed on ``(time, seq)``: ties break in schedule
+order, so simulations are exactly reproducible.  Callbacks are plain
+zero-argument callables; closures carry their own context.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Tuple
+
+
+class EventQueue:
+    """Min-heap of ``(time, seq, callback)`` events."""
+
+    __slots__ = ("_heap", "_seq", "now", "events_run")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.now: float = 0.0
+        self.events_run = 0
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, callback))
+
+    def after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay}")
+        self.at(self.now + delay, callback)
+
+    def run(self, *, max_events: int | None = None) -> None:
+        """Drain the queue (optionally capped), advancing ``now``."""
+        remaining = max_events
+        while self._heap:
+            if remaining is not None:
+                if remaining == 0:
+                    return
+                remaining -= 1
+            time, _seq, callback = heapq.heappop(self._heap)
+            self.now = time
+            self.events_run += 1
+            callback()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

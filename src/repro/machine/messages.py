@@ -1,0 +1,36 @@
+"""Message taxonomy — exactly the four classes the paper counts (§5).
+
+    "Request messages are sent by the caches to request data or
+    ownership.  Reply messages are sent by the directories to grant
+    ownership and/or send data.  Invalidation messages are sent by the
+    directories to invalidate a block.  Acknowledgement messages are
+    sent by caches in response to invalidations."
+
+Writebacks (and Dir-forwarded requests, lock/barrier arrivals) travel in
+the request class; grants and data travel in the reply class.  Only
+*inter-cluster* messages are counted — intra-cluster traffic rides the
+snoopy bus, which is why the home cluster "does not require an
+invalidation" in the paper's broadcast accounting.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class MsgClass(IntEnum):
+    """Network message classes, in the paper's order."""
+
+    REQUEST = 0
+    REPLY = 1
+    INVALIDATION = 2
+    ACKNOWLEDGEMENT = 3
+
+
+#: human-readable labels used by reports
+MSG_LABELS = {
+    MsgClass.REQUEST: "requests",
+    MsgClass.REPLY: "replies",
+    MsgClass.INVALIDATION: "invalidations",
+    MsgClass.ACKNOWLEDGEMENT: "acknowledgements",
+}

@@ -1,0 +1,103 @@
+"""Inter-cluster interconnect models.
+
+Two models share one interface — ``leg(src, dst)`` gives the one-way
+message latency in processor cycles (0 within a cluster):
+
+* :class:`UniformNetwork` — a fixed per-message cost calibrated so that
+  composed transaction latencies match the DASH prototype numbers quoted
+  in §5 (local ≈ 23 cycles, 2-cluster remote ≈ 60, 3-cluster ≈ 80);
+* :class:`MeshNetwork` — the 2-D wormhole mesh of Figure 1, with XY
+  routing and per-hop cost, for studies where placement/locality matters
+  (e.g. the multiprogramming ablation).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+
+class Network(ABC):
+    """One-way message latency between clusters."""
+
+    def __init__(self, num_clusters: int) -> None:
+        if num_clusters < 1:
+            raise ValueError("num_clusters must be >= 1")
+        self.num_clusters = num_clusters
+
+    @abstractmethod
+    def leg(self, src: int, dst: int) -> float:
+        """Latency of one message from cluster ``src`` to ``dst``."""
+
+    def _check(self, src: int, dst: int) -> None:
+        if not (0 <= src < self.num_clusters and 0 <= dst < self.num_clusters):
+            raise ValueError(
+                f"cluster out of range: {src}->{dst} with {self.num_clusters}"
+            )
+
+
+class UniformNetwork(Network):
+    """Distance-independent message latency (the calibrated default)."""
+
+    def __init__(self, num_clusters: int, msg_cycles: float = 20.0) -> None:
+        super().__init__(num_clusters)
+        if msg_cycles < 0:
+            raise ValueError("msg_cycles must be >= 0")
+        self.msg_cycles = msg_cycles
+
+    def leg(self, src: int, dst: int) -> float:
+        self._check(src, dst)
+        return 0.0 if src == dst else self.msg_cycles
+
+
+class MeshNetwork(Network):
+    """2-D mesh with XY (dimension-ordered) routing.
+
+    Latency = ``base_cycles + hops * hop_cycles``.  Cluster ``c`` sits at
+    ``(c % width, c // width)``.  Defaults keep the *average* leg close to
+    the uniform model so results are comparable.
+    """
+
+    def __init__(
+        self,
+        num_clusters: int,
+        width: int | None = None,
+        *,
+        base_cycles: float = 12.0,
+        hop_cycles: float = 2.0,
+    ) -> None:
+        super().__init__(num_clusters)
+        if width is None:
+            width = max(1, int(math.sqrt(num_clusters)))
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.width = width
+        self.height = math.ceil(num_clusters / width)
+        self.base_cycles = base_cycles
+        self.hop_cycles = hop_cycles
+
+    def coords(self, cluster: int) -> tuple[int, int]:
+        """Mesh (x, y) position of a cluster."""
+        return cluster % self.width, cluster // self.width
+
+    def hops(self, src: int, dst: int) -> int:
+        """Manhattan distance under XY routing."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    def leg(self, src: int, dst: int) -> float:
+        self._check(src, dst)
+        if src == dst:
+            return 0.0
+        return self.base_cycles + self.hops(src, dst) * self.hop_cycles
+
+
+def make_network(kind: str, num_clusters: int, **kwargs) -> Network:
+    """Build a network by name (``"uniform"`` or ``"mesh"``)."""
+    kind = kind.lower()
+    if kind == "uniform":
+        return UniformNetwork(num_clusters, **kwargs)
+    if kind == "mesh":
+        return MeshNetwork(num_clusters, **kwargs)
+    raise ValueError(f"unknown network kind {kind!r} (use 'uniform' or 'mesh')")

@@ -1,0 +1,173 @@
+"""Trace-driven processor: advances its op stream with timing feedback.
+
+Each processor executes one op at a time and only fetches the next when
+the previous completes, so the global interleaving of shared references
+is determined by simulated time — the coupled Tango mode of §5.  All
+continuations go through the event queue (never direct recursion), so
+arbitrarily long streams cannot overflow the Python stack.
+
+Consistency models: under the default sequential consistency a write
+stalls the processor until every acknowledgement has arrived ("when all
+acknowledgements are received by the local cluster, the write is
+complete", §2).  With ``MachineConfig.release_consistency`` — DASH's
+actual model — writes retire in the background while the processor
+continues; synchronization operations and the end of the stream act as
+fences that drain outstanding writes first.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.machine.stats import ProcessorStats
+from repro.trace.event import Barrier, Lock, Read, TraceOp, Unlock, Work, Write
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.system import DashSystem
+
+#: cycles to hand a write to the write buffer under release consistency
+WRITE_ISSUE_CYCLES = 1.0
+
+
+class Processor:
+    """One simulated processor bound to a trace stream."""
+
+    __slots__ = ("machine", "proc_id", "cluster_id", "proc_idx", "_stream",
+                 "stats", "done", "_outstanding_writes", "_fence",
+                 "_fence_start", "_pending_blocks")
+
+    def __init__(
+        self, machine: "DashSystem", proc_id: int, stream: Iterator[TraceOp]
+    ) -> None:
+        self.machine = machine
+        self.proc_id = proc_id
+        self.cluster_id = machine.cluster_of_proc(proc_id)
+        self.proc_idx = proc_id % machine.config.procs_per_cluster
+        self._stream = stream
+        self.stats: ProcessorStats = machine.stats.procs[proc_id]
+        self.done = False
+        #: release consistency: writes issued but not yet acknowledged
+        self._outstanding_writes = 0
+        #: deferred continuation waiting for the write buffer to drain
+        self._fence: Optional[TraceOp] = None
+        self._fence_start = 0.0
+        #: blocks with an in-flight buffered write (for store forwarding)
+        self._pending_blocks: dict = {}
+
+    def start(self) -> None:
+        """Schedule this processor's first op at the current time."""
+        self.machine.events.at(self.machine.events.now, self._next)
+
+    def _next(self) -> None:
+        op = next(self._stream, None)
+        if self._needs_fence(op):
+            # drain outstanding writes before sync ops / retirement
+            self._fence = op if op is not None else _END
+            self._fence_start = self.machine.events.now
+            return
+        self._dispatch(op)
+
+    def _needs_fence(self, op) -> bool:
+        if self._outstanding_writes == 0:
+            return False
+        return op is None or type(op) in (Lock, Unlock, Barrier)
+
+    def _fence_released(self) -> None:
+        op = self._fence
+        self._fence = None
+        self.stats.sync += self.machine.events.now - self._fence_start
+        self._dispatch(None if op is _END else op)
+
+    def _dispatch(self, op) -> None:
+        if op is None:
+            self.done = True
+            self.stats.finish_time = self.machine.events.now
+            self.machine.proc_finished(self)
+            return
+        if self.machine.trace_hook is not None:
+            self.machine.trace_hook(self.proc_id, op, self.machine.events.now)
+        kind = type(op)
+        if kind is Work:
+            self.stats.busy += op.cycles
+            self.machine.events.after(op.cycles, self._next)
+        elif kind is Read:
+            self.stats.reads += 1
+            block = self.machine.config.block_of(op.addr)
+            if block in self._pending_blocks:
+                # store-buffer forwarding: the read sees our own
+                # outstanding write without touching the memory system
+                self.stats.busy += WRITE_ISSUE_CYCLES
+                self.machine.events.after(WRITE_ISSUE_CYCLES, self._next)
+            else:
+                self._issue_memory(op.addr, is_write=False)
+        elif kind is Write:
+            self.stats.writes += 1
+            if self.machine.config.release_consistency:
+                self._issue_buffered_write(op.addr)
+            else:
+                self._issue_memory(op.addr, is_write=True)
+        elif kind is Lock:
+            t0 = self.machine.events.now
+            self.machine.sync.lock(self.proc_id, op.lock_id, self._sync_resume(t0))
+        elif kind is Unlock:
+            t0 = self.machine.events.now
+            self.machine.sync.unlock(self.proc_id, op.lock_id, self._sync_resume(t0))
+        elif kind is Barrier:
+            t0 = self.machine.events.now
+            self.machine.sync.barrier(
+                self.proc_id, op.barrier_id, self._sync_resume(t0)
+            )
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown trace op {op!r}")
+
+    def _issue_memory(self, addr: int, *, is_write: bool) -> None:
+        t0 = self.machine.events.now
+
+        def resume(t: float, local_hit: bool) -> None:
+            elapsed = t - t0
+            if local_hit:
+                self.stats.busy += elapsed
+            else:
+                self.stats.stall += elapsed
+            self._next()
+
+        self.machine.access(self, addr, is_write, resume)
+
+    def _issue_buffered_write(self, addr: int) -> None:
+        """Release consistency: issue the write and keep going.
+
+        A write to a block that already has one in flight coalesces into
+        the buffered entry (write combining); otherwise the write is
+        issued to the memory system and retired in the background.
+        """
+        block = self.machine.config.block_of(addr)
+        if block in self._pending_blocks:
+            self.stats.busy += WRITE_ISSUE_CYCLES
+            self.machine.events.after(WRITE_ISSUE_CYCLES, self._next)
+            return
+        self._outstanding_writes += 1
+        self._pending_blocks[block] = True
+
+        def retired(t: float, local_hit: bool) -> None:
+            self._outstanding_writes -= 1
+            self._pending_blocks.pop(block, None)
+            if self._outstanding_writes == 0 and self._fence is not None:
+                self._fence_released()
+
+        self.machine.access(self, addr, True, retired)
+        self.stats.busy += WRITE_ISSUE_CYCLES
+        self.machine.events.after(WRITE_ISSUE_CYCLES, self._next)
+
+    def _sync_resume(self, t0: float):
+        def resume(t: float) -> None:
+            self.stats.sync += t - t0
+            self._next()
+
+        return resume
+
+
+class _EndSentinel:
+    """Marks 'end of stream' inside a pending fence slot."""
+
+
+_END = _EndSentinel()

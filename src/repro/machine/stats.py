@@ -1,0 +1,164 @@
+"""Simulation statistics: message counts, invalidation distributions, time.
+
+Everything the paper's figures are drawn from:
+
+* per-class message counts (Figures 7-10's stacked bars, Figures 13-14's
+  traffic curves),
+* the invalidation distribution — a histogram of invalidations sent per
+  invalidation event, tagged by cause (Figures 3-6),
+* execution time (Figures 7-12) and per-processor busy/stall breakdowns.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List
+
+from repro.machine.messages import MSG_LABELS, MsgClass
+
+
+class InvalCause(str, Enum):
+    """Why an invalidation event happened — the paper discusses all three."""
+
+    WRITE = "write"  # ordinary write to a clean/shared block
+    NB_EVICT = "nb_evict"  # Dir_iNB pointer overflow on a read
+    SPARSE_REPL = "sparse_repl"  # sparse-directory entry replacement
+
+
+@dataclass
+class ProcessorStats:
+    """Cycle breakdown for one processor."""
+
+    busy: float = 0.0  # Work ops + cache-hit service
+    stall: float = 0.0  # waiting on the memory system
+    sync: float = 0.0  # waiting on locks/barriers
+    reads: int = 0
+    writes: int = 0
+    finish_time: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.busy + self.stall + self.sync
+
+
+class SimStats:
+    """Mutable statistics accumulator for one simulation run."""
+
+    def __init__(self, num_processors: int) -> None:
+        self.messages: Counter = Counter()  # MsgClass -> count
+        self.inval_hist: Dict[InvalCause, Counter] = {
+            cause: Counter() for cause in InvalCause
+        }
+        self.procs: List[ProcessorStats] = [
+            ProcessorStats() for _ in range(num_processors)
+        ]
+        self.exec_time: float = 0.0
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.local_misses = 0  # satisfied within the cluster (bus)
+        self.remote_misses = 0  # required a directory transaction
+        self.writebacks = 0
+        self.sparse_replacements = 0
+        self.nb_evictions = 0
+        self.lock_acquires = 0
+        self.barrier_waits = 0
+
+    # -- recording --------------------------------------------------------
+
+    def count_msg(self, msg_class: MsgClass, n: int = 1) -> None:
+        """Add ``n`` messages of a class."""
+        if n:
+            self.messages[msg_class] += n
+
+    def record_inval_event(self, cause: InvalCause, size: int) -> None:
+        """Histogram one invalidation event of ``size`` messages."""
+        self.inval_hist[cause][size] += 1
+
+    # -- derived quantities -----------------------------------------------
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages.values())
+
+    def msg(self, msg_class: MsgClass) -> int:
+        """Count of one message class."""
+        return self.messages.get(msg_class, 0)
+
+    @property
+    def requests(self) -> int:
+        return self.msg(MsgClass.REQUEST)
+
+    @property
+    def replies(self) -> int:
+        return self.msg(MsgClass.REPLY)
+
+    @property
+    def invalidations(self) -> int:
+        return self.msg(MsgClass.INVALIDATION)
+
+    @property
+    def acknowledgements(self) -> int:
+        return self.msg(MsgClass.ACKNOWLEDGEMENT)
+
+    @property
+    def inval_plus_ack(self) -> int:
+        return self.invalidations + self.acknowledgements
+
+    def invalidation_events(self, *causes: InvalCause) -> int:
+        """Number of invalidation events (optionally filtered by cause)."""
+        selected = causes or tuple(InvalCause)
+        return sum(sum(self.inval_hist[c].values()) for c in selected)
+
+    def invalidations_sent(self, *causes: InvalCause) -> int:
+        """Total invalidations across events (optionally by cause)."""
+        selected = causes or tuple(InvalCause)
+        return sum(
+            size * n for c in selected for size, n in self.inval_hist[c].items()
+        )
+
+    @property
+    def avg_invals_per_event(self) -> float:
+        events = self.invalidation_events()
+        return self.invalidations_sent() / events if events else 0.0
+
+    def inval_distribution(self) -> Dict[int, int]:
+        """Merged histogram over all causes: size -> event count."""
+        merged: Counter = Counter()
+        for hist in self.inval_hist.values():
+            merged.update(hist)
+        return dict(sorted(merged.items()))
+
+    def traffic_breakdown(self) -> Dict[str, int]:
+        """The Figures 7-10 stack: requests / replies / inval+ack."""
+        return {
+            "requests": self.requests,
+            "replies": self.replies,
+            "inval_ack": self.inval_plus_ack,
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """Flat summary for reports and benchmark output."""
+        return {
+            "exec_time": self.exec_time,
+            "total_messages": self.total_messages,
+            **{MSG_LABELS[c]: self.messages.get(c, 0) for c in MsgClass},
+            "invalidation_events": self.invalidation_events(),
+            "invalidations_sent": self.invalidations_sent(),
+            "avg_invals_per_event": round(self.avg_invals_per_event, 3),
+            "l1_hits": self.l1_hits,
+            "l2_hits": self.l2_hits,
+            "local_misses": self.local_misses,
+            "remote_misses": self.remote_misses,
+            "writebacks": self.writebacks,
+            "sparse_replacements": self.sparse_replacements,
+            "nb_evictions": self.nb_evictions,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<SimStats t={self.exec_time:.0f} msgs={self.total_messages} "
+            f"(req={self.requests} rep={self.replies} "
+            f"inv={self.invalidations} ack={self.acknowledgements})>"
+        )

@@ -1,0 +1,299 @@
+"""`DashSystem`: the whole machine, wired together and runnable.
+
+Construction builds the clusters, the interconnect, one directory
+controller per cluster (full-map or sparse, any scheme from
+:mod:`repro.core`), and the synchronization manager.  :meth:`run`
+attaches a workload's streams to processors and drains the event queue;
+the result is a :class:`~repro.machine.stats.SimStats`.
+
+``run_workload`` is the one-call convenience used by examples and every
+benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.base import DirectoryScheme
+from repro.core.registry import make_scheme
+from repro.core.sparse import (
+    DirectoryStore,
+    FullMapDirectory,
+    SparseDirectory,
+    sparse_entries_for_size_factor,
+)
+from repro.machine.cluster import Cluster
+from repro.machine.config import MachineConfig
+from repro.machine.directory import HINT, READ, WRITE, WRITEBACK, DirectoryController, Transaction
+from repro.machine.events import EventQueue
+from repro.machine.messages import MsgClass
+from repro.machine.network import make_network
+from repro.machine.processor import Processor
+from repro.machine.stats import SimStats
+from repro.machine.sync import SyncManager
+from repro.trace.workload import Workload
+
+
+class DashSystem:
+    """A simulated DASH machine bound to one workload."""
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        workload: Workload,
+        *,
+        scheme: Optional[DirectoryScheme] = None,
+        strict: bool = False,
+    ) -> None:
+        config.validate()
+        if workload.num_processors != config.num_processors:
+            raise ValueError(
+                f"workload has {workload.num_processors} processors but the "
+                f"machine has {config.num_processors}"
+            )
+        if workload.block_bytes != config.block_bytes:
+            raise ValueError(
+                f"workload block size {workload.block_bytes} != machine "
+                f"block size {config.block_bytes}"
+            )
+        self.config = config
+        self.workload = workload
+        #: raise on protocol anomalies instead of recovering (used in tests)
+        self.strict = strict
+        self.events = EventQueue()
+        self.stats = SimStats(config.num_processors)
+        self.network = make_network(config.network, config.num_clusters)
+        self.scheme = scheme if scheme is not None else make_scheme(
+            config.scheme, config.num_clusters, seed=config.seed
+        )
+        self.clusters: List[Cluster] = [
+            Cluster(i, config) for i in range(config.num_clusters)
+        ]
+        self.directories: List[DirectoryController] = [
+            DirectoryController(self, i, self._make_store(i))
+            for i in range(config.num_clusters)
+        ]
+        self.sync = SyncManager(self)
+        self.processors: List[Processor] = []
+        self._finished = 0
+        #: optional callable(proc_id, op, time) observing every op as it
+        #: is issued — used by trace.recorder.InterleavingRecorder
+        self.trace_hook = None
+
+    # -- construction helpers ---------------------------------------------
+
+    def _make_store(self, cluster_id: int) -> DirectoryStore:
+        cfg = self.config
+        if cfg.shared_entry_group is not None:
+            from repro.core.shared_entry import SharedEntryDirectory
+
+            return SharedEntryDirectory(
+                self.scheme,
+                cfg.shared_entry_group,
+                stride=cfg.num_clusters,
+                offset=cluster_id,
+            )
+        if cfg.sparse_size_factor is None:
+            return FullMapDirectory(self.scheme)
+        total_entries = sparse_entries_for_size_factor(
+            cfg.total_cache_blocks, cfg.sparse_size_factor, cfg.sparse_assoc
+        )
+        per_home = max(cfg.sparse_assoc, total_entries // cfg.num_clusters)
+        if per_home % cfg.sparse_assoc:
+            per_home += cfg.sparse_assoc - per_home % cfg.sparse_assoc
+        return SparseDirectory(
+            self.scheme,
+            per_home,
+            cfg.sparse_assoc,
+            policy=cfg.sparse_policy,
+            seed=cfg.seed + cluster_id,
+            stride=cfg.num_clusters,
+            offset=cluster_id,
+        )
+
+    # -- topology helpers ----------------------------------------------------
+
+    def cluster_of_proc(self, proc_id: int) -> int:
+        """The cluster a processor lives in."""
+        return proc_id // self.config.procs_per_cluster
+
+    def home_of(self, block: int) -> int:
+        """The home cluster of a memory block."""
+        return self.config.home_of(block)
+
+    # -- message accounting ----------------------------------------------------
+
+    def count_msg(self, msg_class: MsgClass, src: int, dst: int) -> None:
+        """Count one inter-cluster message (intra-cluster traffic is free)."""
+        if src != dst:
+            self.stats.count_msg(msg_class)
+
+    # -- the memory system entry point ---------------------------------------------
+
+    def access(
+        self,
+        proc: Processor,
+        addr: int,
+        is_write: bool,
+        resume: Callable[[float, bool], None],
+    ) -> None:
+        """Handle one shared reference from ``proc``; resume when done.
+
+        ``resume(time, local_hit)`` — ``local_hit`` tells the processor
+        whether to book the elapsed time as busy (cache hit) or stall.
+        """
+        cfg = self.config
+        block = cfg.block_of(addr)
+        cluster_id = proc.cluster_id
+        cluster = self.clusters[cluster_id]
+        local = cluster.try_local(proc.proc_idx, block, is_write)
+        if local.satisfied:
+            if local.where == "l1":
+                self.stats.l1_hits += 1
+            elif local.where == "l2":
+                self.stats.l2_hits += 1
+            else:
+                self.stats.local_misses += 1
+            self._handle_evictions(cluster_id, local.evictions)
+            done = self.events.now + local.latency
+            hit = local.where in ("l1", "l2")
+            self.events.at(done, lambda: resume(done, hit))
+            return
+
+        self.stats.remote_misses += 1
+        home = self.home_of(block)
+
+        def on_complete(t: float) -> None:
+            evictions = cluster.install_from_directory(
+                proc.proc_idx, block, dirty=is_write
+            )
+            self._handle_evictions(cluster_id, evictions)
+            resume(t, False)
+
+        txn = Transaction(
+            WRITE if is_write else READ,
+            block,
+            cluster_id,
+            proc.proc_idx,
+            on_complete,
+        )
+        self.directories[home].submit(txn)
+
+    def _handle_evictions(self, cluster_id: int, evictions) -> None:
+        """Issue writebacks (and optional hints) for cache fills' victims."""
+        for vblock, was_dirty in evictions:
+            home = self.home_of(vblock)
+            if was_dirty:
+                self.stats.writebacks += 1
+                still_shared = self.clusters[cluster_id].copies_besides_wb(vblock)
+                self.directories[home].submit(
+                    Transaction(
+                        WRITEBACK, vblock, cluster_id, still_shared=still_shared
+                    )
+                )
+            elif self.config.replacement_hints:
+                if not self.clusters[cluster_id].copies_besides_wb(vblock):
+                    self.directories[home].submit(
+                        Transaction(HINT, vblock, cluster_id)
+                    )
+
+    # -- run loop -------------------------------------------------------------------
+
+    def proc_finished(self, proc: Processor) -> None:
+        """A processor drained its stream (run-loop bookkeeping)."""
+        self._finished += 1
+
+    def run(self, *, max_events: Optional[int] = None) -> SimStats:
+        """Simulate to completion and return the statistics."""
+        self.processors = [
+            Processor(self, p, self.workload.stream(p))
+            for p in range(self.config.num_processors)
+        ]
+        for proc in self.processors:
+            proc.start()
+        self.events.run(max_events=max_events)
+        if self._finished != len(self.processors) and max_events is None:
+            stuck = [p.proc_id for p in self.processors if not p.done]
+            raise RuntimeError(
+                f"simulation deadlocked: processors {stuck} never finished "
+                f"({self.sync.pending_waiters()} sync waiters pending)"
+            )
+        self.stats.exec_time = max(
+            (p.stats.finish_time for p in self.processors), default=0.0
+        )
+        return self.stats
+
+    # -- invariant checking (used heavily in tests) ------------------------------------
+
+    def check_coherence(self) -> None:
+        """Verify machine-wide coherence invariants; raises on violation.
+
+        * a DIRTY block lives in exactly one cluster, and the home
+          directory records that cluster as the owner;
+        * every cluster holding a clean copy is covered by the home
+          directory's (possibly conservative) sharer set.
+        """
+        holders: dict[int, list[tuple[int, bool]]] = {}
+        for cluster in self.clusters:
+            for cache in cluster.caches:
+                for block, state in cache.l2.blocks():
+                    holders.setdefault(block, []).append(
+                        (cluster.cluster_id, state.name == "DIRTY")
+                    )
+        for block, copies in holders.items():
+            dirty_clusters = {c for c, d in copies if d}
+            all_clusters = {c for c, _ in copies}
+            home = self.home_of(block)
+            line = self.directories[home].store.lookup(block)
+            if dirty_clusters:
+                if len(dirty_clusters) > 1:
+                    raise AssertionError(
+                        f"block {block} dirty in clusters {dirty_clusters}"
+                    )
+                (owner,) = dirty_clusters
+                if len(all_clusters) > 1:
+                    # other copies must be in the same cluster as the owner
+                    raise AssertionError(
+                        f"dirty block {block} also cached in {all_clusters}"
+                    )
+                if line is None or not line.dirty or line.owner != owner:
+                    # a writeback may be in flight; then the cache line is
+                    # a wb-buffer ghost, not an L2 line, so reaching here
+                    # is a real violation
+                    raise AssertionError(
+                        f"directory does not record cluster {owner} as owner "
+                        f"of dirty block {block} (line={line})"
+                    )
+            else:
+                if line is None:
+                    raise AssertionError(
+                        f"clean block {block} cached in {all_clusters} but "
+                        f"home has no directory line"
+                    )
+                if line.dirty:
+                    raise AssertionError(
+                        f"directory marks block {block} dirty (owner "
+                        f"{line.owner}) but only clean copies exist in "
+                        f"{all_clusters}"
+                    )
+                covered = set(line.entry.invalidation_targets())
+                if not all_clusters <= covered:
+                    raise AssertionError(
+                        f"clean block {block} cached in {all_clusters} but "
+                        f"directory only covers {covered}"
+                    )
+
+
+def run_workload(
+    config: MachineConfig,
+    workload: Workload,
+    *,
+    scheme: Optional[DirectoryScheme] = None,
+    check: bool = False,
+) -> SimStats:
+    """Build a machine, run the workload, optionally verify coherence."""
+    system = DashSystem(config, workload, scheme=scheme)
+    stats = system.run()
+    if check:
+        system.check_coherence()
+    return stats

@@ -1,0 +1,56 @@
+"""Trace operations a processor stream may yield.
+
+These are the *global events* Tango exposed: shared-data references and
+synchronization, plus ``Work`` to stand in for the private/local
+computation between them (private references hit local caches and never
+reach the directory, so we charge them as busy cycles instead of
+simulating each one).
+
+Ops are plain tuples (via NamedTuple) — millions are created per run, so
+they must be cheap.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Union
+
+
+class Read(NamedTuple):
+    """Shared-data load from byte address ``addr``."""
+
+    addr: int
+
+
+class Write(NamedTuple):
+    """Shared-data store to byte address ``addr``."""
+
+    addr: int
+
+
+class Work(NamedTuple):
+    """``cycles`` of local computation (private refs included)."""
+
+    cycles: int
+
+
+class Lock(NamedTuple):
+    """Acquire lock ``lock_id`` (queue-based, granted by its home cluster)."""
+
+    lock_id: int
+
+
+class Unlock(NamedTuple):
+    """Release lock ``lock_id``."""
+
+    lock_id: int
+
+
+class Barrier(NamedTuple):
+    """Global barrier ``barrier_id``; all processors participate."""
+
+    barrier_id: int
+
+
+TraceOp = Union[Read, Write, Work, Lock, Unlock, Barrier]
+
+__all__ = ["Read", "Write", "Work", "Lock", "Unlock", "Barrier", "TraceOp"]

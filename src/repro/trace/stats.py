@@ -1,0 +1,62 @@
+"""Static workload characterization — the Table 2 columns.
+
+Streams are timing-oblivious (see :class:`~repro.trace.workload.Workload`),
+so the totals can be computed by draining each processor's stream without
+a machine behind it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.event import Barrier, Lock, Read, Unlock, Work, Write
+from repro.trace.workload import Workload
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate reference counts for one workload instance."""
+
+    name: str
+    num_processors: int
+    shared_refs: int
+    shared_reads: int
+    shared_writes: int
+    sync_ops: int
+    work_cycles: int
+    shared_bytes: int
+
+    @property
+    def shared_mbytes(self) -> float:
+        return self.shared_bytes / (1024 * 1024)
+
+    @property
+    def read_fraction(self) -> float:
+        return self.shared_reads / self.shared_refs if self.shared_refs else 0.0
+
+
+def characterize(workload: Workload) -> TraceStats:
+    """Drain every processor's stream and count (Table 2)."""
+    reads = writes = sync = work = 0
+    for proc in range(workload.num_processors):
+        for op in workload.stream(proc):
+            if type(op) is Read:
+                reads += 1
+            elif type(op) is Write:
+                writes += 1
+            elif type(op) is Work:
+                work += op.cycles
+            elif type(op) in (Lock, Unlock, Barrier):
+                sync += 1
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown trace op {op!r}")
+    return TraceStats(
+        name=workload.name,
+        num_processors=workload.num_processors,
+        shared_refs=reads + writes,
+        shared_reads=reads,
+        shared_writes=writes,
+        sync_ops=sync,
+        work_cycles=work,
+        shared_bytes=workload.shared_bytes,
+    )

@@ -1,0 +1,83 @@
+"""Workload base class: a parallel application as per-processor streams."""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.trace.address_space import AddressSpace
+from repro.trace.event import TraceOp
+
+
+class Workload(ABC):
+    """A parallel application, expressed as one op stream per processor.
+
+    Subclasses allocate their shared data in :meth:`build` (called once by
+    ``__init__``) and implement :meth:`stream`.  Streams must be
+    *restartable*: calling ``stream(p)`` twice yields identical sequences,
+    so one workload object can characterize itself (Table 2) and then be
+    simulated.
+
+    Streams must also be *oblivious*: the op sequence may depend on the
+    seed but not on simulated timing.  Synchronization ops (locks and
+    barriers) are how a stream expresses ordering constraints; the
+    simulator enforces them in simulated time exactly as Tango's coupled
+    mode did.  Non-deterministic applications (the paper's LocusRoute and
+    MP3D) get their nondeterminism from the seed.
+    """
+
+    name: str = "workload"
+
+    def __init__(
+        self, num_processors: int, *, block_bytes: int = 16, seed: int = 0
+    ) -> None:
+        if num_processors < 1:
+            raise ValueError("num_processors must be >= 1")
+        self.num_processors = num_processors
+        self.block_bytes = block_bytes
+        self.seed = seed
+        self.space = AddressSpace(block_bytes=block_bytes)
+        self._lock_counter = 0
+        self._barrier_counter = 0
+        self.build()
+
+    @abstractmethod
+    def build(self) -> None:
+        """Allocate shared arrays, locks, and barriers."""
+
+    @abstractmethod
+    def stream(self, proc_id: int) -> Iterator[TraceOp]:
+        """The op stream for processor ``proc_id`` (restartable)."""
+
+    # -- resource allocation helpers -------------------------------------
+
+    def new_lock(self) -> int:
+        """Allocate a fresh lock id."""
+        lock_id = self._lock_counter
+        self._lock_counter += 1
+        return lock_id
+
+    def new_locks(self, count: int) -> list[int]:
+        """Allocate several fresh lock ids."""
+        return [self.new_lock() for _ in range(count)]
+
+    def new_barrier(self) -> int:
+        """Allocate a fresh barrier id."""
+        barrier_id = self._barrier_counter
+        self._barrier_counter += 1
+        return barrier_id
+
+    def rng_for(self, proc_id: int, salt: int = 0) -> random.Random:
+        """Deterministic per-processor RNG (stream restarts must match)."""
+        return random.Random(f"{self.seed}:{proc_id}:{salt}")
+
+    @property
+    def shared_bytes(self) -> int:
+        return self.space.total_shared_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<{type(self).__name__} {self.name} procs={self.num_processors} "
+            f"shared={self.shared_bytes}B>"
+        )

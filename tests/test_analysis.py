@@ -1,0 +1,101 @@
+"""Figure 2 model and report formatting."""
+
+import pytest
+
+from repro.analysis import (
+    average_invalidations,
+    figure2_series,
+    format_histogram,
+    format_series,
+    format_table,
+    normalized,
+)
+
+
+class TestFigure2Model:
+    def test_full_vector_is_identity(self):
+        for k in (0, 1, 5, 17, 30):
+            assert average_invalidations("full", 32, k, trials=50) == k
+
+    def test_broadcast_plateaus_at_n_minus_2(self):
+        # past i sharers, Dir_iB always broadcasts: N-2 invalidations
+        for k in (4, 10, 25):
+            assert average_invalidations("Dir3B", 32, k, trials=50) == 30
+
+    def test_broadcast_exact_below_overflow(self):
+        for k in (0, 1, 2, 3):
+            assert average_invalidations("Dir3B", 32, k, trials=50) == k
+
+    def test_coarse_vector_between_full_and_broadcast(self):
+        for k in (4, 8, 16, 24):
+            full = average_invalidations("full", 32, k, trials=100)
+            cv = average_invalidations("Dir3CV2", 32, k, trials=100)
+            b = average_invalidations("Dir3B", 32, k, trials=100)
+            assert full <= cv <= b
+
+    def test_superset_worse_than_coarse_vector(self):
+        # §4.1: "the superset scheme is only marginally better than
+        # broadcast"; CV clearly beats it at moderate sharing
+        for k in (5, 8):
+            x = average_invalidations("Dir3X", 64, k, trials=150)
+            cv = average_invalidations("Dir3CV4", 64, k, trials=150)
+            assert cv < x
+
+    def test_coarse_vector_offset_bounded_by_region(self):
+        # CV's overshoot is at most (r-1) per sharer region
+        for k in (4, 10):
+            cv = average_invalidations("Dir3CV2", 32, k, trials=100)
+            assert cv <= 2 * k
+
+    def test_all_converge_at_saturation(self):
+        k = 30  # every non-writer/home node shares
+        for name in ("full", "Dir3B", "Dir3CV2"):
+            assert average_invalidations(name, 32, k, trials=30) == 30
+
+    def test_series_shape(self):
+        s = figure2_series(["full", "Dir3B"], 16, max_sharers=10, trials=20)
+        assert set(s) == {"full", "Dir3B"}
+        assert len(s["full"]) == 11
+
+    def test_sharers_out_of_range(self):
+        with pytest.raises(ValueError):
+            average_invalidations("full", 8, 7, trials=10)
+
+    def test_deterministic_per_seed(self):
+        a = average_invalidations("Dir3CV2", 32, 7, trials=40, seed=5)
+        b = average_invalidations("Dir3CV2", 32, 7, trials=40, seed=5)
+        assert a == b
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_format_table_numbers(self):
+        out = format_table(["x"], [[1234567]])
+        assert "1,234,567" in out
+
+    def test_format_series(self):
+        out = format_series({"a": [1.0, 2.0], "b": [3.0]}, x_label="k")
+        assert "k" in out.splitlines()[0]
+        assert len(out.splitlines()) == 4
+
+    def test_format_histogram(self):
+        out = format_histogram({0: 5, 2: 10})
+        lines = out.splitlines()
+        assert len(lines) == 3  # sizes 0, 1, 2
+        assert "33.33%" in lines[0]
+
+    def test_format_histogram_empty(self):
+        assert "empty" in format_histogram({})
+
+    def test_normalized(self):
+        n = normalized({"full": 10.0, "cv": 12.0}, baseline="full")
+        assert n == {"full": 1.0, "cv": 1.2}
+
+    def test_normalized_missing_baseline(self):
+        with pytest.raises(KeyError):
+            normalized({"a": 1.0}, baseline="b")

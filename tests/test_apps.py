@@ -1,0 +1,276 @@
+"""Application workloads: structure, determinism, and sharing patterns."""
+
+import pytest
+
+from repro.apps import (
+    DWFWorkload,
+    LocusRouteWorkload,
+    LUWorkload,
+    MP3DWorkload,
+    PAPER_APPS,
+    SharingDegreeWorkload,
+    UniformRandomWorkload,
+    MultiprogrammedWorkload,
+)
+from repro.trace import characterize
+from repro.trace.event import Barrier, Lock, Read, Unlock, Work, Write
+
+P = 8
+
+
+def small_instances():
+    return {
+        "LU": LUWorkload(P, matrix_n=12),
+        "DWF": DWFWorkload(P, pattern_len=16, library_len=24, col_block=8),
+        "MP3D": MP3DWorkload(P, num_particles=48, steps=2),
+        "LocusRoute": LocusRouteWorkload(
+            P, grid_cols=32, grid_rows=8, num_regions=4, wires_per_region=4
+        ),
+        "sharing": SharingDegreeWorkload(P, sharers=3, num_blocks=8, rounds=2),
+        "random": UniformRandomWorkload(P, refs_per_proc=50),
+        "multi": MultiprogrammedWorkload(P, partitions=2, rounds=2),
+    }
+
+
+class TestAllWorkloads:
+    @pytest.mark.parametrize("name", list(small_instances()))
+    def test_streams_restartable(self, name):
+        wl = small_instances()[name]
+        for p in range(0, P, 3):
+            assert list(wl.stream(p)) == list(wl.stream(p)), name
+
+    @pytest.mark.parametrize("name", list(small_instances()))
+    def test_nonempty_shared_refs(self, name):
+        st = characterize(small_instances()[name])
+        assert st.shared_refs > 0
+        assert st.shared_reads > 0
+
+    @pytest.mark.parametrize("name", list(small_instances()))
+    def test_addresses_inside_allocated_space(self, name):
+        wl = small_instances()[name]
+        limit = wl.space._next
+        for p in range(P):
+            for op in wl.stream(p):
+                if isinstance(op, (Read, Write)):
+                    assert 0 <= op.addr < limit
+
+    @pytest.mark.parametrize("name", list(small_instances()))
+    def test_same_seed_identical_totals(self, name):
+        a = characterize(small_instances()[name])
+        b = characterize(small_instances()[name])
+        assert a == b
+
+
+class TestLU:
+    def test_pivot_column_read_by_all(self):
+        wl = LUWorkload(4, matrix_n=8)
+        # element (2, 0) of pivot column 0 must be read by every processor
+        target = wl.matrix.addr(0 * 8 + 2)
+        for p in range(4):
+            reads = {op.addr for op in wl.stream(p) if isinstance(op, Read)}
+            assert target in reads, f"proc {p} never reads the pivot column"
+
+    def test_column_written_only_by_owner(self):
+        wl = LUWorkload(4, matrix_n=8)
+        n = wl.n
+        for p in range(4):
+            for op in wl.stream(p):
+                if isinstance(op, Write) and op.addr < wl.matrix.base + wl.matrix.nbytes:
+                    element = (op.addr - wl.matrix.base) // 8
+                    column = element // n
+                    assert wl.owner(column) == p
+
+    def test_ready_flag_posted_by_owner_read_by_others(self):
+        wl = LUWorkload(4, matrix_n=8)
+        flag0 = wl.flags.addr(0)
+        for p in range(4):
+            ops = list(wl.stream(p))
+            if wl.owner(0) == p:
+                assert any(isinstance(o, Write) and o.addr == flag0 for o in ops)
+            else:
+                assert any(isinstance(o, Read) and o.addr == flag0 for o in ops)
+
+    def test_barrier_count(self):
+        wl = LUWorkload(4, matrix_n=8)
+        st = characterize(wl)
+        # 2 barriers per step, (n-1) steps, all 4 procs participate
+        assert st.sync_ops == 2 * 7 * 4
+
+    def test_column_major_contiguity(self):
+        wl = LUWorkload(2, matrix_n=4)
+        # consecutive rows of one column are 8 bytes apart
+        assert wl._addr(1, 2) - wl._addr(0, 2) == 8
+
+    def test_rejects_tiny_matrix(self):
+        with pytest.raises(ValueError):
+            LUWorkload(2, matrix_n=1)
+
+
+class TestDWF:
+    def test_bands_partition_rows(self):
+        wl = DWFWorkload(5, pattern_len=17, library_len=16, col_block=8)
+        rows = []
+        for p in range(5):
+            rows.extend(wl.band_rows(p))
+        assert sorted(rows) == list(range(17))
+
+    def test_library_read_by_all(self):
+        wl = DWFWorkload(4, pattern_len=8, library_len=16, col_block=4)
+        addr0 = wl.library.addr(3)
+        for p in range(4):
+            reads = {op.addr for op in wl.stream(p) if isinstance(op, Read)}
+            assert addr0 in reads
+
+    def test_score_table_read_by_all(self):
+        wl = DWFWorkload(4, pattern_len=8, library_len=16, col_block=4)
+        lo, hi = wl.score_table.base, wl.score_table.base + wl.score_table.nbytes
+        for p in range(4):
+            assert any(
+                isinstance(op, Read) and lo <= op.addr < hi for op in wl.stream(p)
+            )
+
+    def test_matrix_cells_written_once(self):
+        wl = DWFWorkload(4, pattern_len=8, library_len=16, col_block=4)
+        lo, hi = wl.matrix.base, wl.matrix.base + wl.matrix.nbytes
+        writes = []
+        for p in range(4):
+            writes.extend(
+                op.addr for op in wl.stream(p)
+                if isinstance(op, Write) and lo <= op.addr < hi
+            )
+        assert len(writes) == len(set(writes)) == 8 * 16
+
+    def test_best_score_read_by_all_written_rarely(self):
+        wl = DWFWorkload(4, pattern_len=8, library_len=64, col_block=4)
+        addr = wl.best_score.addr(0)
+        total_writes = 0
+        for p in range(4):
+            ops = list(wl.stream(p))
+            assert any(isinstance(o, Read) and o.addr == addr for o in ops)
+            total_writes += sum(
+                1 for o in ops if isinstance(o, Write) and o.addr == addr
+            )
+        reads = 4 * wl.num_col_blocks
+        assert 0 <= total_writes < reads / 2  # rare updates
+
+    def test_stage_count(self):
+        wl = DWFWorkload(4, pattern_len=8, library_len=32, col_block=8)
+        assert wl.num_stages == 4 + 4 - 1
+
+
+class TestMP3D:
+    def test_particles_partitioned(self):
+        wl = MP3DWorkload(4, num_particles=19, steps=1)
+        owned = []
+        for p in range(4):
+            owned.extend(wl.owned(p))
+        assert sorted(owned) == list(range(19))
+
+    def test_own_particles_written_each_step(self):
+        wl = MP3DWorkload(4, num_particles=16, steps=2, collision_fraction=0)
+        for p in range(4):
+            writes = [op.addr for op in wl.stream(p) if isinstance(op, Write)]
+            for particle in wl.owned(p):
+                assert writes.count(wl.particles.addr(particle)) == 2
+
+    def test_cells_touched_stay_near_zone(self):
+        wl = MP3DWorkload(4, num_particles=64, space_cells=32, steps=3,
+                          collision_fraction=0)
+        for p in range(4):
+            zone = wl.zone(p)
+            lo, hi = max(0, zone.start - 1), min(31, zone.stop)
+            for op in wl.stream(p):
+                if isinstance(op, (Read, Write)):
+                    off = op.addr - wl.cells.base
+                    if 0 <= off < wl.cells.nbytes:
+                        cell = off // 8
+                        assert lo <= cell <= hi
+
+    def test_collision_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            MP3DWorkload(4, num_particles=16, collision_fraction=1.5)
+
+
+class TestLocusRoute:
+    def test_wires_confined_to_region_columns(self):
+        wl = LocusRouteWorkload(
+            4, grid_cols=32, grid_rows=4, num_regions=4, wires_per_region=6
+        )
+        for region, wires in enumerate(wl._wires):
+            lo = region * wl.region_cols
+            hi = lo + wl.region_cols
+            for _row, col, length in wires:
+                assert lo <= col and col + length <= hi
+
+    def test_each_wire_routed_exactly_once(self):
+        wl = LocusRouteWorkload(
+            4, grid_cols=32, grid_rows=4, num_regions=2, wires_per_region=5
+        )
+        # total queue grabs = wires per region per member processor
+        total_locks = 0
+        for p in range(4):
+            total_locks += sum(
+                1 for op in wl.stream(p) if isinstance(op, Lock)
+            )
+        assert total_locks == 2 * 5 * 2  # regions * wires * procs-per-region
+
+    def test_density_read_by_every_processor(self):
+        wl = LocusRouteWorkload(
+            4, grid_cols=32, grid_rows=4, num_regions=4, wires_per_region=4
+        )
+        lo, hi = wl.density.base, wl.density.base + wl.density.nbytes
+        for p in range(4):
+            assert any(
+                isinstance(op, Read) and lo <= op.addr < hi
+                for op in wl.stream(p)
+            )
+
+    def test_grid_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            LocusRouteWorkload(4, grid_cols=30, num_regions=4)
+
+
+class TestSynthetic:
+    def test_sharing_degree_exact(self):
+        wl = SharingDegreeWorkload(8, sharers=5, num_blocks=4, rounds=3)
+        for r in range(3):
+            for readers, writer in wl.plan[r]:
+                assert len(set(readers)) == 5
+                assert 0 <= writer < 8
+
+    def test_sharers_bounds(self):
+        with pytest.raises(ValueError):
+            SharingDegreeWorkload(4, sharers=5)
+
+    def test_multiprogram_partitions_disjoint_data(self):
+        wl = MultiprogrammedWorkload(8, partitions=4, rounds=2)
+        seen = {}
+        for p in range(8):
+            part = wl.partition_of(p)
+            for op in wl.stream(p):
+                if isinstance(op, (Read, Write)):
+                    off = op.addr - wl.data.base
+                    if 0 <= off < wl.data.nbytes:
+                        block_part = off // (
+                            wl.blocks_per_partition * wl.block_bytes
+                        )
+                        assert block_part == part
+
+    def test_multiprogram_scatter_changes_members(self):
+        aligned = MultiprogrammedWorkload(8, partitions=2, scatter=False)
+        scattered = MultiprogrammedWorkload(8, partitions=2, scatter=True)
+        assert aligned.members != scattered.members
+        # both are valid partitions of the processors
+        for wl in (aligned, scattered):
+            all_members = sorted(m for ms in wl.members for m in ms)
+            assert all_members == list(range(8))
+
+    def test_uniform_random_write_fraction(self):
+        wl = UniformRandomWorkload(
+            4, refs_per_proc=500, write_fraction=0.5, seed=3
+        )
+        st = characterize(wl)
+        assert 0.4 < st.shared_writes / st.shared_refs < 0.6
+
+    def test_paper_apps_registry(self):
+        assert set(PAPER_APPS) == {"LU", "DWF", "MP3D", "LocusRoute"}

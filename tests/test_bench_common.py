@@ -1,0 +1,52 @@
+"""Benchmark results-persistence helpers."""
+
+import json
+
+import pytest
+
+import benchmarks.common as common
+from repro.machine import MachineConfig, run_workload
+from repro.trace.scripted import ScriptedWorkload
+from repro.trace.event import Read, Write
+
+
+class TestPlainCoercion:
+    def test_nested_structures(self):
+        data = {"a": (1, 2), "b": {"c": [1.5, None, True]}}
+        assert common._plain(data) == {"a": [1, 2], "b": {"c": [1.5, None, True]}}
+
+    def test_int_keys_become_strings(self):
+        assert common._plain({3: 4}) == {"3": 4}
+
+    def test_stats_objects_flatten(self):
+        cfg = MachineConfig(num_clusters=4, l1_bytes=64, l2_bytes=256)
+        stats = run_workload(cfg, ScriptedWorkload([[Read(0)], [], [], []]))
+        flat = common._plain(stats)
+        assert isinstance(flat, dict)
+        assert "exec_time" in flat
+
+    def test_unknown_objects_stringified(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        assert common._plain(Odd()) == "<odd>"
+
+
+class TestSaveResults:
+    def test_writes_json(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(common, "RESULTS_DIR", tmp_path)
+        path = common.save_results("unit", {"x": 1, "y": [2, 3]})
+        assert path == tmp_path / "unit.json"
+        assert json.loads(path.read_text()) == {"x": 1, "y": [2, 3]}
+
+    def test_stats_summary_fields(self):
+        cfg = MachineConfig(num_clusters=4, l1_bytes=64, l2_bytes=256)
+        stats = run_workload(
+            cfg, ScriptedWorkload([[Read(0), Write(0)], [], [], []])
+        )
+        summary = common.stats_summary(stats)
+        for key in ("exec_time", "total_messages", "invalidations_sent",
+                    "avg_invals_per_event"):
+            assert key in summary
+        json.dumps(summary)  # must be serializable as-is

@@ -1,0 +1,59 @@
+"""ASCII chart renderer tests."""
+
+import pytest
+
+from repro.analysis import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart({"a": [0, 1, 2, 3]}, width=16, height=6)
+        lines = out.splitlines()
+        assert len(lines) == 6 + 3  # grid + axis + x label + legend
+        assert "* a" in lines[-1]
+
+    def test_extremes_labelled(self):
+        out = ascii_chart({"a": [5, 10]}, width=16, height=6)
+        assert "10 |" in out
+        assert " 5 |" in out
+
+    def test_multiple_series_distinct_markers(self):
+        out = ascii_chart({"a": [1, 2], "b": [2, 1]}, width=16, height=6)
+        assert "* a" in out and "o b" in out
+        grid = "\n".join(out.splitlines()[:-3])
+        assert "*" in grid and "o" in grid
+
+    def test_monotone_series_monotone_rows(self):
+        out = ascii_chart({"up": list(range(10))}, width=20, height=10)
+        rows = [i for i, line in enumerate(out.splitlines())
+                if "*" in line]
+        # marker moves upward (row index decreases) left to right
+        cols = {}
+        for i, line in enumerate(out.splitlines()[:10]):
+            for c, ch in enumerate(line):
+                if ch == "*":
+                    cols[c] = i
+        ordered = [cols[c] for c in sorted(cols)]
+        assert ordered == sorted(ordered, reverse=True)
+
+    def test_flat_series(self):
+        out = ascii_chart({"flat": [3, 3, 3]}, width=12, height=5)
+        grid = "\n".join(out.splitlines()[:5])  # exclude axis and legend
+        assert grid.count("*") == 3
+
+    def test_empty_inputs(self):
+        assert ascii_chart({}) == "(no series)"
+        assert ascii_chart({"a": []}) == "(empty series)"
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": [1]}, width=4, height=2)
+
+    def test_too_many_series_rejected(self):
+        series = {f"s{i}": [i] for i in range(12)}
+        with pytest.raises(ValueError, match="at most"):
+            ascii_chart(series)
+
+    def test_x_label_printed(self):
+        out = ascii_chart({"a": [1, 2, 3]}, x_label="sharers")
+        assert "sharers: 0 .. 2" in out

@@ -1,0 +1,107 @@
+"""CLI tests (direct main() invocation, small problem sizes)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+SMALL = ["--procs", "4", "--scale", "0.2"]
+
+
+class TestRun:
+    def test_run_app(self, capsys):
+        code, out = run_cli(capsys, "run", "--app", "MP3D", *SMALL,
+                            "--scheme", "Dir3CV2", "--check")
+        assert code == 0
+        assert "execution time" in out
+        assert "invalidation events" in out
+
+    def test_run_with_histogram(self, capsys):
+        code, out = run_cli(capsys, "run", "--app", "LU", *SMALL,
+                            "--histogram")
+        assert code == 0
+        assert "invalidation distribution" in out
+
+    def test_run_sparse(self, capsys):
+        code, out = run_cli(capsys, "run", "--app", "DWF", *SMALL,
+                            "--l2-bytes", "512", "--sparse", "0.5")
+        assert code == 0
+        assert "sparse replacements" in out
+
+    def test_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--app", "NoSuchApp", *SMALL])
+
+
+class TestCompare:
+    def test_compare(self, capsys):
+        code, out = run_cli(capsys, "compare", "--app", "LocusRoute", *SMALL,
+                            "--schemes", "full,Dir2B")
+        assert code == 0
+        assert "norm exec" in out and "Dir2B" in out
+
+
+class TestCharacterize:
+    def test_characterize(self, capsys):
+        code, out = run_cli(capsys, "characterize", "--app", "LU", *SMALL)
+        assert code == 0
+        assert "shared refs" in out
+
+
+class TestOverhead:
+    def test_overhead_dense(self, capsys):
+        code, out = run_cli(capsys, "overhead", "--nodes", "16",
+                            "--scheme", "full")
+        assert code == 0
+        assert "13.28%" in out  # DASH's ~13.3% (17/128 bits)
+
+    def test_overhead_sparse(self, capsys):
+        code, out = run_cli(capsys, "overhead", "--nodes", "32",
+                            "--scheme", "full", "--sparsity", "64")
+        assert code == 0
+        assert "savings factor" in out
+        assert "54.2" in out
+
+
+class TestFig2:
+    def test_fig2(self, capsys):
+        code, out = run_cli(capsys, "fig2", "--nodes", "8",
+                            "--schemes", "full,Dir1B",
+                            "--max-sharers", "6", "--trials", "20")
+        assert code == 0
+        assert "sharers" in out
+
+    def test_fig2_exact(self, capsys):
+        code, out = run_cli(capsys, "fig2", "--nodes", "16",
+                            "--schemes", "full,Dir3B,Dir3CV2",
+                            "--max-sharers", "14", "--exact")
+        assert code == 0
+        # closed form: Dir3B plateau at N-2 = 14 from 4 sharers on
+        assert "14.000" in out
+
+    def test_fig2_chart(self, capsys):
+        code, out = run_cli(capsys, "fig2", "--nodes", "8",
+                            "--schemes", "full,Dir1B",
+                            "--max-sharers", "6", "--trials", "20",
+                            "--chart")
+        assert code == 0
+        assert "* full" in out  # legend markers
+
+
+class TestTraceRoundtrip:
+    def test_dump_then_replay(self, capsys, tmp_path):
+        trace = tmp_path / "t.trace"
+        code, out = run_cli(capsys, "dump-trace", "--app", "MP3D", *SMALL,
+                            "--out", str(trace))
+        assert code == 0
+        assert trace.exists()
+        code, out = run_cli(capsys, "replay", "--trace", str(trace),
+                            "--scheme", "Dir2B")
+        assert code == 0
+        assert "replayed" in out

@@ -1,0 +1,99 @@
+"""The analytic overhead model must reproduce the paper's arithmetic."""
+
+import pytest
+
+from repro.core import (
+    CoarseVectorScheme,
+    FullBitVectorScheme,
+    LimitedPointerBroadcastScheme,
+    full_vector_overhead,
+    limited_pointer_overhead,
+    savings_factor,
+    table1_configurations,
+)
+from repro.core.overhead import directory_overhead, tag_bits_for_sparsity
+
+
+class TestPaperReferencePoints:
+    def test_dash_prototype_is_13_3_percent(self):
+        # §2: 17 bits per 16-byte block -> 13.3%
+        ov = full_vector_overhead(16, 16)
+        assert ov.bits_per_entry == 17
+        assert ov.overhead_percent == pytest.approx(13.28, abs=0.05)
+
+    def test_sparsity_64_savings_factor_54(self):
+        # §5: Dir32 full vector, sparsity 64: 39 bits per 64 blocks
+        # versus 33 bits per block -> factor ~54
+        scheme = FullBitVectorScheme(32)
+        sparse = directory_overhead(scheme, 16, sparsity=64)
+        assert sparse.bits_per_entry == 39  # 32 + 1 dirty + 6 tag
+        factor = savings_factor(scheme, 16, 64)
+        assert factor == pytest.approx(54.15, abs=0.1)
+
+    def test_sparse_saves_one_to_two_orders_of_magnitude(self):
+        scheme = FullBitVectorScheme(32)
+        assert 10 < savings_factor(scheme, 16, 16) < 100
+        assert savings_factor(scheme, 16, 64) > 50
+
+
+class TestTable1:
+    def test_three_rows(self):
+        rows = table1_configurations()
+        assert [r.processors for r in rows] == [64, 256, 1024]
+        assert [r.clusters for r in rows] == [16, 64, 256]
+
+    def test_memory_scales_with_processors(self):
+        rows = table1_configurations()
+        for r in rows:
+            assert r.main_memory_mbytes == 16 * r.processors
+            assert r.cache_mbytes == r.processors // 4
+
+    def test_overheads_all_near_13_percent(self):
+        # the point of Table 1: overhead stays ~13% as the machine scales
+        for r in table1_configurations():
+            assert 12.0 < r.overhead_percent < 14.5, r
+
+    def test_row3_uses_coarse_vector(self):
+        rows = table1_configurations()
+        assert "CV" in rows[2].scheme_label
+
+
+class TestModelInternals:
+    def test_tag_bits(self):
+        assert tag_bits_for_sparsity(1) == 0
+        assert tag_bits_for_sparsity(4) == 2
+        assert tag_bits_for_sparsity(64) == 6
+
+    def test_limited_pointer_grows_logarithmically(self):
+        ov32 = limited_pointer_overhead(32, 3, 16)
+        ov1024 = limited_pointer_overhead(1024, 3, 16)
+        # 3*5+1+1 = 17 vs 3*10+1+1 = 32: log growth, not linear
+        assert ov1024.bits_per_entry < 2 * ov32.bits_per_entry
+
+    def test_full_vector_grows_linearly(self):
+        assert full_vector_overhead(64, 16).bits_per_entry == 65
+        assert full_vector_overhead(128, 16).bits_per_entry == 129
+
+    def test_sparsity_reduces_bits_per_block(self):
+        scheme = FullBitVectorScheme(64)
+        dense = directory_overhead(scheme, 16, sparsity=1)
+        sparse = directory_overhead(scheme, 16, sparsity=8)
+        assert sparse.bits_per_block < dense.bits_per_block / 7
+
+    def test_coarse_vector_overhead_below_full_vector(self):
+        # at 256 nodes, Dir8CV4 must be much cheaper than Dir256
+        cv = directory_overhead(CoarseVectorScheme(256, 8, 4), 16)
+        full = directory_overhead(FullBitVectorScheme(256), 16)
+        assert cv.bits_per_entry < full.bits_per_entry / 3
+
+    def test_broadcast_scheme_uses_same_order_as_cv(self):
+        b = directory_overhead(LimitedPointerBroadcastScheme(256, 8), 16)
+        cv = directory_overhead(CoarseVectorScheme(256, 8, 4), 16)
+        assert abs(b.bits_per_entry - cv.bits_per_entry) <= 2
+
+    def test_invalid_inputs(self):
+        scheme = FullBitVectorScheme(8)
+        with pytest.raises(ValueError):
+            directory_overhead(scheme, 0)
+        with pytest.raises(ValueError):
+            directory_overhead(scheme, 16, sparsity=0.5)

@@ -1,0 +1,66 @@
+"""Scheme-name parsing (`make_scheme`)."""
+
+import pytest
+
+from repro.core import (
+    CoarseVectorScheme,
+    FullBitVectorScheme,
+    LimitedPointerBroadcastScheme,
+    LimitedPointerNoBroadcastScheme,
+    LinkedListScheme,
+    OverflowCacheScheme,
+    SupersetScheme,
+    make_scheme,
+)
+
+
+@pytest.mark.parametrize(
+    "name, cls",
+    [
+        ("full", FullBitVectorScheme),
+        ("Dir32", FullBitVectorScheme),
+        ("DirN", FullBitVectorScheme),
+        ("Dir3B", LimitedPointerBroadcastScheme),
+        ("dir3b", LimitedPointerBroadcastScheme),
+        ("Dir3NB", LimitedPointerNoBroadcastScheme),
+        ("Dir2X", SupersetScheme),
+        ("Dir3CV2", CoarseVectorScheme),
+        ("Dir8CV4", CoarseVectorScheme),
+        ("DirLL", LinkedListScheme),
+        ("Dir3OF16", OverflowCacheScheme),
+        ("linkedlist", LinkedListScheme),
+        ("coarse", CoarseVectorScheme),
+    ],
+)
+def test_parses(name, cls):
+    assert isinstance(make_scheme(name, 32), cls)
+
+
+def test_parameters_extracted():
+    cv = make_scheme("Dir8CV4", 256)
+    assert cv.num_pointers == 8 and cv.region_size == 4
+    nb = make_scheme("Dir5NB", 64)
+    assert nb.num_pointers == 5
+    of = make_scheme("Dir3OF128", 64)
+    assert of.overflow_entries == 128
+
+
+def test_dir_k_must_match_node_count():
+    with pytest.raises(ValueError, match="full-bit-vector"):
+        make_scheme("Dir16", 32)
+
+
+def test_unknown_name():
+    with pytest.raises(ValueError, match="unrecognized"):
+        make_scheme("Dir3QQ", 32)
+
+
+def test_seed_forwarded():
+    s1 = make_scheme("Dir3NB", 32, seed=4)
+    s2 = make_scheme("Dir3NB", 32, seed=4)
+    assert [s1.rng.random() for _ in range(3)] == [s2.rng.random() for _ in range(3)]
+
+
+def test_names_roundtrip():
+    for name in ["Dir3B", "Dir3NB", "Dir2X", "Dir3CV2"]:
+        assert make_scheme(name, 32).name == name

@@ -1,0 +1,87 @@
+"""Invalidation-distribution analysis tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.distributions import (
+    DistributionSummary,
+    broadcast_mass,
+    excess_invalidations,
+    normalize,
+    total_variation_distance,
+)
+
+hists = st.dictionaries(
+    st.integers(0, 31), st.integers(1, 100), max_size=12
+)
+
+
+class TestSummary:
+    def test_basic(self):
+        s = DistributionSummary.of({0: 5, 2: 10, 30: 5})
+        assert s.events == 20
+        assert s.invalidations == 170
+        assert s.mean == pytest.approx(8.5)
+        assert s.max_size == 30
+        assert s.zero_fraction == 0.25
+
+    def test_empty(self):
+        s = DistributionSummary.of({})
+        assert s.events == 0 and s.mean == 0.0 and s.max_size == 0
+
+
+class TestNormalize:
+    def test_sums_to_one(self):
+        pmf = normalize({1: 3, 2: 1})
+        assert sum(pmf.values()) == pytest.approx(1.0)
+        assert pmf[1] == 0.75
+
+    def test_empty(self):
+        assert normalize({}) == {}
+
+
+class TestTotalVariation:
+    def test_identical_is_zero(self):
+        h = {0: 3, 5: 7}
+        assert total_variation_distance(h, h) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert total_variation_distance({0: 5}, {10: 5}) == 1.0
+
+    def test_symmetric(self):
+        a, b = {0: 3, 1: 1}, {1: 2, 2: 2}
+        assert total_variation_distance(a, b) == total_variation_distance(b, a)
+
+    @given(a=hists, b=hists)
+    def test_bounded(self, a, b):
+        d = total_variation_distance(a, b)
+        assert -1e-12 <= d <= 1.0 + 1e-12
+
+
+class TestBroadcastMass:
+    def test_detects_spike(self):
+        # 32-node machine: broadcast = 30
+        h = {1: 90, 30: 10}
+        assert broadcast_mass(h, 32) == pytest.approx(0.10)
+
+    def test_slack_includes_31(self):
+        h = {31: 5, 1: 5}
+        assert broadcast_mass(h, 32) == pytest.approx(0.5)
+
+    def test_no_spike(self):
+        assert broadcast_mass({0: 10, 2: 10}, 32) == 0.0
+
+    def test_empty(self):
+        assert broadcast_mass({}, 32) == 0.0
+
+
+class TestExcess:
+    def test_positive_for_superset_scheme(self):
+        full = {2: 10}
+        broadcast = {30: 10}
+        assert excess_invalidations(broadcast, full) == 280
+
+    def test_zero_for_same(self):
+        h = {3: 4}
+        assert excess_invalidations(h, h) == 0

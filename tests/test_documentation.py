@@ -1,0 +1,71 @@
+"""Documentation coverage: every public item carries a docstring.
+
+Deliverable (e) of the reproduction: doc comments on every public item.
+This test walks the package and enforces it mechanically, so a new
+module can't silently ship undocumented.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it would run the CLI
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(iter_modules())
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(f"{module.__name__}.{name}")
+        if inspect.isclass(obj):
+            for mname, member in vars(obj).items():
+                if mname.startswith("_") or not inspect.isfunction(member):
+                    continue
+                if member.__doc__ and member.__doc__.strip():
+                    continue
+                # overrides inherit the contract documented on the base
+                inherited = any(
+                    getattr(getattr(base, mname, None), "__doc__", None)
+                    for base in obj.__mro__[1:]
+                )
+                if not inherited:
+                    undocumented.append(
+                        f"{module.__name__}.{name}.{mname}"
+                    )
+    assert not undocumented, f"undocumented public items: {undocumented}"
+
+
+def test_repo_docs_exist():
+    from pathlib import Path
+
+    root = Path(repro.__file__).resolve().parent.parent.parent
+    for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                "docs/protocol.md", "docs/workloads.md"):
+        path = root / doc
+        assert path.exists(), doc
+        assert len(path.read_text()) > 500, f"{doc} looks stubby"

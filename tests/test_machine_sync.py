@@ -1,0 +1,112 @@
+"""Lock and barrier semantics (queue-based, DASH §7 style)."""
+
+import pytest
+
+from repro.machine import DashSystem, MachineConfig
+from repro.trace.event import Barrier, Lock, Read, Unlock, Work, Write
+from repro.trace.scripted import ScriptedWorkload
+
+
+def run_scripts(scripts, **cfg_overrides):
+    defaults = dict(num_clusters=4, procs_per_cluster=1, l2_bytes=1024)
+    defaults.update(cfg_overrides)
+    cfg = MachineConfig(**defaults)
+    system = DashSystem(cfg, ScriptedWorkload(scripts, block_bytes=cfg.block_bytes))
+    stats = system.run()
+    return system, stats
+
+
+class TestLocks:
+    def test_uncontended_acquire(self):
+        _, stats = run_scripts([[Lock(0), Unlock(0)], [], [], []])
+        assert stats.lock_acquires == 1
+
+    def test_mutual_exclusion_serializes(self):
+        # Both processors hold the lock for 1000 cycles of Work; the
+        # second acquirer cannot finish before the first releases.
+        scripts = [
+            [Lock(5), Work(1000), Unlock(5)],
+            [Lock(5), Work(1000), Unlock(5)],
+            [],
+            [],
+        ]
+        _, stats = run_scripts(scripts)
+        assert stats.lock_acquires == 2
+        finishes = sorted(p.finish_time for p in stats.procs[:2])
+        assert finishes[1] >= finishes[0] + 1000
+
+    def test_waiter_blocks_until_grant(self):
+        scripts = [
+            [Lock(0), Work(500), Unlock(0)],
+            [Work(50), Lock(0), Unlock(0)],
+            [],
+            [],
+        ]
+        _, stats = run_scripts(scripts)
+        # proc 1 spends most of its life waiting on the lock
+        assert stats.procs[1].sync > 400
+
+    def test_fifo_grant_order(self):
+        # three contenders; each appends Work while holding.  All must
+        # eventually acquire exactly once.
+        scripts = [
+            [Lock(0), Work(100), Unlock(0)],
+            [Work(10), Lock(0), Work(100), Unlock(0)],
+            [Work(20), Lock(0), Work(100), Unlock(0)],
+            [],
+        ]
+        _, stats = run_scripts(scripts)
+        assert stats.lock_acquires == 3
+
+    def test_lock_messages_counted(self):
+        # lock 1's home is cluster 1; proc 0 acquiring it crosses the net.
+        _, stats = run_scripts([[Lock(1), Unlock(1)], [], [], []])
+        assert stats.requests == 2  # lock req + unlock req
+        assert stats.replies == 1  # grant
+
+    def test_deadlock_detected(self):
+        scripts = [[Lock(0)], [Lock(0)], [], []]  # never released
+        with pytest.raises(RuntimeError, match="deadlock"):
+            run_scripts(scripts)
+
+    def test_coarse_grant_mode_extra_messages(self):
+        # region-granular grants (coarse vector sync) cost extra traffic
+        # when several same-region waiters are woken.
+        scripts = [
+            [Lock(0), Work(2000), Unlock(0)],
+            [Work(10), Lock(0), Unlock(0)],
+            [Work(20), Lock(0), Unlock(0)],
+            [Work(30), Lock(0), Unlock(0)],
+        ]
+        _, plain = run_scripts(scripts, scheme="Dir1CV2")
+        _, coarse = run_scripts(scripts, scheme="Dir1CV2", coarse_lock_grant=True)
+        assert plain.lock_acquires == coarse.lock_acquires == 4
+        assert coarse.total_messages >= plain.total_messages
+
+
+class TestBarriers:
+    def test_all_arrive_before_any_release(self):
+        scripts = [
+            [Work(100 * p), Barrier(0), Work(1)] for p in range(4)
+        ]
+        _, stats = run_scripts(scripts)
+        # nobody can finish before the slowest arrival at ~300
+        assert min(p.finish_time for p in stats.procs) > 300
+        assert stats.barrier_waits == 4
+
+    def test_barrier_messages(self):
+        scripts = [[Barrier(0)] for _ in range(4)]
+        _, stats = run_scripts(scripts)
+        # home is cluster 0: 3 remote arrivals + 3 remote releases
+        assert stats.requests == 3
+        assert stats.replies == 3
+
+    def test_sequential_barriers(self):
+        scripts = [[Barrier(0), Work(10), Barrier(1)] for _ in range(4)]
+        _, stats = run_scripts(scripts)
+        assert stats.barrier_waits == 8
+
+    def test_missing_participant_deadlocks(self):
+        scripts = [[Barrier(0)], [Barrier(0)], [Barrier(0)], []]
+        with pytest.raises(RuntimeError, match="deadlock"):
+            run_scripts(scripts)

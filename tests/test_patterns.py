@@ -1,0 +1,106 @@
+"""Sharing-pattern microkernels (Weber & Gupta [15] classes)."""
+
+import pytest
+
+from repro.apps.patterns import (
+    PATTERN_CLASSES,
+    FrequentReadWritePattern,
+    MigratoryPattern,
+    MostlyReadPattern,
+    ReadOnlyPattern,
+    SynchronizationPattern,
+)
+from repro.machine import MachineConfig, run_workload
+from repro.machine.stats import InvalCause
+from repro.trace import characterize
+from repro.trace.event import Read, Write
+
+P = 8
+
+
+def run_pattern(workload, scheme="full", **cfg):
+    defaults = dict(num_clusters=P, scheme=scheme, l1_bytes=512, l2_bytes=2048)
+    defaults.update(cfg)
+    return run_workload(MachineConfig(**defaults), workload, check=True)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("name", list(PATTERN_CLASSES))
+    def test_restartable(self, name):
+        wl = PATTERN_CLASSES[name](P)
+        assert list(wl.stream(2)) == list(wl.stream(2))
+
+    @pytest.mark.parametrize("name", list(PATTERN_CLASSES))
+    def test_runs_coherently_under_all_schemes(self, name):
+        for scheme in ("full", "Dir3CV2", "Dir3B", "Dir3NB"):
+            run_pattern(PATTERN_CLASSES[name](P), scheme)
+
+
+class TestReadOnly:
+    def test_no_invalidations_after_init(self):
+        stats = run_pattern(ReadOnlyPattern(P))
+        assert stats.invalidations_sent(InvalCause.WRITE) == 0
+
+    def test_nb_thrashes_read_only_data(self):
+        full = run_pattern(ReadOnlyPattern(P, rounds=8))
+        nb = run_pattern(ReadOnlyPattern(P, rounds=8), scheme="Dir3NB")
+        assert nb.nb_evictions > 0
+        assert nb.total_messages > 1.3 * full.total_messages
+
+
+class TestMigratory:
+    def test_single_invalidation_per_migration(self):
+        stats = run_pattern(MigratoryPattern(P, num_objects=4, rounds=2))
+        hist = stats.inval_hist[InvalCause.WRITE]
+        # every write event invalidates at most the previous owner
+        assert max(hist, default=0) <= 1
+
+    def test_all_schemes_equal_on_migratory(self):
+        msgs = {
+            s: run_pattern(MigratoryPattern(P), s).total_messages
+            for s in ("full", "Dir3CV2", "Dir3B", "Dir3NB")
+        }
+        assert max(msgs.values()) <= 1.05 * min(msgs.values())
+
+
+class TestMostlyRead:
+    def test_writes_cause_wide_invalidations(self):
+        stats = run_pattern(MostlyReadPattern(P, rounds=4, reader_fraction=1.0))
+        hist = stats.inval_hist[InvalCause.WRITE]
+        assert max(hist, default=0) >= P - 2  # most readers invalidated
+
+    def test_partial_sharing_differentiates_schemes(self):
+        def invals(scheme):
+            return run_pattern(
+                MostlyReadPattern(P, rounds=6, reader_fraction=0.5),
+                scheme,
+            ).invalidations_sent()
+
+        assert invals("full") < invals("Dir3B")
+
+    def test_broadcast_pays_most_here(self):
+        full = run_pattern(MostlyReadPattern(P, rounds=6))
+        cv = run_pattern(MostlyReadPattern(P, rounds=6), scheme="Dir3CV2")
+        b = run_pattern(MostlyReadPattern(P, rounds=6), scheme="Dir3B")
+        assert full.invalidations_sent() <= cv.invalidations_sent()
+        assert cv.invalidations_sent() <= b.invalidations_sent()
+
+
+class TestFrequentReadWrite:
+    def test_counter_migrates_with_ownership(self):
+        stats = run_pattern(FrequentReadWritePattern(P, updates_per_proc=4))
+        # lock-serialized updates: every counter write is an ownership
+        # transfer or a tiny invalidation, never a broadcast
+        hist = stats.inval_hist[InvalCause.WRITE]
+        assert max(hist, default=0) <= 2
+        assert stats.lock_acquires == P * 4
+
+
+class TestSynchronization:
+    def test_pure_sync_traffic(self):
+        stats = run_pattern(SynchronizationPattern(P, rounds=3))
+        st = characterize(SynchronizationPattern(P, rounds=3))
+        assert st.shared_refs == 0  # no data refs at all
+        assert stats.lock_acquires == P * 3
+        assert stats.total_messages > 0  # lock/barrier messages only
+        assert stats.invalidations == 0

@@ -1,0 +1,124 @@
+"""Trace dump/replay and interleaving recorder tests."""
+
+import io
+
+import pytest
+
+from repro.apps import MP3DWorkload, UniformRandomWorkload
+from repro.machine import DashSystem, MachineConfig, run_workload
+from repro.trace import characterize
+from repro.trace.event import Barrier, Lock, Read, Unlock, Work, Write
+from repro.trace.recorder import (
+    InterleavingRecorder,
+    ReplayWorkload,
+    decode_op,
+    dump_trace,
+    encode_op,
+    load_trace,
+)
+from repro.trace.scripted import ScriptedWorkload
+
+
+class TestOpCodec:
+    @pytest.mark.parametrize("op", [
+        Read(1234), Write(0), Work(55), Lock(3), Unlock(3), Barrier(9),
+    ])
+    def test_roundtrip(self, op):
+        assert decode_op(encode_op(op)) == op
+
+    def test_bad_line(self):
+        with pytest.raises(ValueError):
+            decode_op("X 1")
+        with pytest.raises(ValueError):
+            decode_op("R")
+
+
+class TestDumpLoad:
+    def test_roundtrip_through_buffer(self):
+        wl = MP3DWorkload(4, num_particles=16, steps=1, seed=2)
+        buf = io.StringIO()
+        count = dump_trace(wl, buf)
+        assert count == sum(
+            len(list(wl.stream(p))) for p in range(4)
+        )
+        buf.seek(0)
+        scripts, meta = load_trace(buf)
+        assert len(scripts) == 4
+        assert meta["processors"] == "4"
+        for p in range(4):
+            assert scripts[p] == list(wl.stream(p))
+
+    def test_roundtrip_through_file(self, tmp_path):
+        wl = UniformRandomWorkload(3, refs_per_proc=20, seed=5)
+        path = tmp_path / "t.trace"
+        dump_trace(wl, path)
+        scripts, meta = load_trace(path)
+        assert scripts[1] == list(wl.stream(1))
+        assert int(meta["shared_bytes"]) == wl.shared_bytes
+
+    def test_out_of_order_sections_rejected(self):
+        bad = io.StringIO("P 1\nR 0\n")
+        with pytest.raises(ValueError, match="out of order"):
+            load_trace(bad)
+
+    def test_op_before_section_rejected(self):
+        bad = io.StringIO("R 0\n")
+        with pytest.raises(ValueError, match="before any"):
+            load_trace(bad)
+
+
+class TestReplayWorkload:
+    def test_replay_matches_original_simulation(self, tmp_path):
+        original = UniformRandomWorkload(
+            4, refs_per_proc=60, heap_blocks=16, seed=7
+        )
+        path = tmp_path / "u.trace"
+        dump_trace(original, path)
+        replay = ReplayWorkload(path)
+        assert replay.num_processors == 4
+        assert replay.block_bytes == original.block_bytes
+
+        cfg = MachineConfig(num_clusters=4, l1_bytes=256, l2_bytes=1024)
+        a = run_workload(cfg, original)
+        cfg2 = MachineConfig(num_clusters=4, l1_bytes=256, l2_bytes=1024)
+        b = run_workload(cfg2, replay)
+        assert a.to_dict() == b.to_dict()
+
+    def test_replay_from_scripts(self):
+        replay = ReplayWorkload([[Read(0), Write(16)], [Work(4)]])
+        assert characterize(replay).shared_refs == 2
+
+    def test_name_carries_source(self, tmp_path):
+        wl = MP3DWorkload(2, num_particles=8, steps=1)
+        path = tmp_path / "m.trace"
+        dump_trace(wl, path)
+        assert "MP3D" in ReplayWorkload(path).name
+
+
+class TestInterleavingRecorder:
+    def test_records_in_time_order(self):
+        wl = ScriptedWorkload(
+            [[Work(10), Read(0)], [Read(16)], [], []], block_bytes=16
+        )
+        cfg = MachineConfig(num_clusters=4, l1_bytes=256, l2_bytes=1024)
+        system = DashSystem(cfg, wl)
+        rec = InterleavingRecorder.attach(system)
+        system.run()
+        assert len(rec.events) == 3
+        times = [t for t, _, _ in rec.events]
+        assert times == sorted(times)
+        # proc 1's read is issued at t=0, proc 0's read only after Work(10)
+        ops = [(p, type(op).__name__) for _, p, op in rec.events]
+        assert ops[0] in [(0, "Work"), (1, "Read")]
+        assert (0, "Read") == ops[-1]
+
+    def test_write_to_file(self, tmp_path):
+        wl = ScriptedWorkload([[Read(0)], [], [], []])
+        cfg = MachineConfig(num_clusters=4, l1_bytes=256, l2_bytes=1024)
+        system = DashSystem(cfg, wl)
+        rec = InterleavingRecorder.attach(system)
+        system.run()
+        path = tmp_path / "il.trace"
+        assert rec.write(path) == 1
+        content = path.read_text()
+        assert "R 0" in content

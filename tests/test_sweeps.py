@@ -1,0 +1,93 @@
+"""Sweep runner tests."""
+
+import pytest
+
+from repro.analysis.sweeps import Sweep
+from repro.apps import UniformRandomWorkload
+from repro.machine import MachineConfig
+
+
+def make_sweep(**kw):
+    return Sweep(
+        MachineConfig(num_clusters=4, l1_bytes=256, l2_bytes=1024),
+        lambda: UniformRandomWorkload(4, refs_per_proc=40, heap_blocks=16),
+        **kw,
+    )
+
+
+class TestSweep:
+    def test_cartesian_grid(self):
+        sweep = make_sweep()
+        sweep.add_axis("scheme", ["full", "Dir2B"])
+        sweep.add_axis("seed", [0, 1, 2])
+        results = sweep.run()
+        assert len(results) == 6
+        assert results.axes == ["scheme", "seed"]
+
+    def test_filter_and_metric_by(self):
+        sweep = make_sweep()
+        sweep.add_axis("scheme", ["full", "Dir2B", "Dir2NB"])
+        results = sweep.run()
+        sub = results.filter(scheme="full")
+        assert len(sub) == 1
+        by = results.metric_by("scheme", "total_messages")
+        assert set(by) == {"full", "Dir2B", "Dir2NB"}
+        assert all(v > 0 for v in by.values())
+
+    def test_metric_by_requires_uniqueness(self):
+        sweep = make_sweep()
+        sweep.add_axis("scheme", ["full", "Dir2B"])
+        sweep.add_axis("seed", [0, 1])
+        results = sweep.run()
+        with pytest.raises(ValueError, match="not unique"):
+            results.metric_by("scheme", "exec_time")
+
+    def test_table_output(self):
+        sweep = make_sweep()
+        sweep.add_axis("scheme", ["full"])
+        results = sweep.run()
+        out = results.table(["exec_time", "total_messages"])
+        assert "exec_time" in out and "full" in out
+
+    def test_callable_metrics(self):
+        sweep = make_sweep()
+        sweep.add_axis("scheme", ["full"])
+        results = sweep.run()
+        point = results.points[0]
+        assert point.metric("invalidation_events") >= 0
+        with pytest.raises(KeyError):
+            point.metric("nonexistent_metric")
+
+    def test_unknown_axis_rejected_early(self):
+        sweep = make_sweep()
+        with pytest.raises(TypeError):
+            sweep.add_axis("not_a_config_field", [1])
+
+    def test_duplicate_axis_rejected(self):
+        sweep = make_sweep()
+        sweep.add_axis("seed", [0])
+        with pytest.raises(ValueError, match="already added"):
+            sweep.add_axis("seed", [1])
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            make_sweep().add_axis("seed", [])
+
+    def test_run_without_axes_rejected(self):
+        with pytest.raises(ValueError, match="at least one axis"):
+            make_sweep().run()
+
+    def test_progress_callback(self):
+        seen = []
+        sweep = make_sweep()
+        sweep.add_axis("scheme", ["full", "Dir2B"])
+        sweep.run(progress=lambda ov, st: seen.append(ov["scheme"]))
+        assert seen == ["full", "Dir2B"]
+
+    def test_sweep_deterministic(self):
+        def run_once():
+            sweep = make_sweep()
+            sweep.add_axis("scheme", ["Dir2NB"])
+            return sweep.run().points[0].metric("total_messages")
+
+        assert run_once() == run_once()

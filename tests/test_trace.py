@@ -1,0 +1,96 @@
+"""Trace infrastructure: address space, workload base, characterization."""
+
+import pytest
+
+from repro.trace import AddressSpace, characterize
+from repro.trace.address_space import scaled_cache_bytes
+from repro.trace.event import Read, Work, Write
+from repro.trace.scripted import ScriptedWorkload
+
+
+class TestAddressSpace:
+    def test_alloc_is_block_aligned(self):
+        space = AddressSpace(block_bytes=16)
+        a = space.alloc("a", 3, 8)  # 24 bytes
+        b = space.alloc("b", 1, 8)
+        assert a.base % 16 == 0
+        assert b.base % 16 == 0
+        assert b.base >= a.base + a.nbytes
+
+    def test_arrays_disjoint(self):
+        space = AddressSpace()
+        a = space.alloc("a", 10, 8)
+        b = space.alloc("b", 10, 8)
+        a_range = set(range(a.base, a.base + a.nbytes))
+        b_range = set(range(b.base, b.base + b.nbytes))
+        assert not (a_range & b_range)
+
+    def test_addr_indexing(self):
+        space = AddressSpace()
+        arr = space.alloc("m", 100, 8)
+        assert arr.addr(5) == arr.base + 40
+        with pytest.raises(IndexError):
+            arr.addr(100)
+
+    def test_addr2_row_major(self):
+        space = AddressSpace()
+        arr = space.alloc("m", 12, 8)
+        assert arr.addr2(2, 1, 4) == arr.addr(9)
+
+    def test_total_shared_bytes(self):
+        space = AddressSpace()
+        space.alloc("a", 4, 8)
+        space.alloc("b", 2, 16)
+        assert space.total_shared_bytes == 64
+
+    def test_duplicate_name_rejected(self):
+        space = AddressSpace()
+        space.alloc("a", 1, 8)
+        with pytest.raises(ValueError):
+            space.alloc("a", 1, 8)
+
+    def test_scaled_cache_bytes_paper_example(self):
+        # §6.3: DWF 3.9 MB dataset, ratio 64, 32 procs -> 2 KB per proc
+        per_proc = scaled_cache_bytes(int(3.9 * 2**20), 64, 32)
+        assert per_proc == pytest.approx(2048, rel=0.05)
+
+
+class TestScriptedWorkload:
+    def test_streams_restartable(self):
+        wl = ScriptedWorkload([[Read(0), Write(16)], [Work(5)]])
+        assert list(wl.stream(0)) == list(wl.stream(0))
+
+    def test_characterize_counts(self):
+        wl = ScriptedWorkload(
+            [[Read(0), Read(16), Write(0), Work(7)], [Write(32)]]
+        )
+        st = characterize(wl)
+        assert st.shared_reads == 2
+        assert st.shared_writes == 2
+        assert st.shared_refs == 4
+        assert st.sync_ops == 0
+        assert st.work_cycles == 7
+
+    def test_characterize_sync_ops(self):
+        from repro.trace.event import Barrier, Lock, Unlock
+
+        wl = ScriptedWorkload([[Lock(0), Unlock(0), Barrier(0)], [Barrier(0)]])
+        st = characterize(wl)
+        assert st.sync_ops == 4
+
+    def test_read_fraction(self):
+        wl = ScriptedWorkload([[Read(0), Read(16), Read(32), Write(0)]])
+        assert characterize(wl).read_fraction == 0.75
+
+    def test_rng_for_deterministic(self):
+        wl = ScriptedWorkload([[]], seed=9)
+        r1 = wl.rng_for(3).random()
+        r2 = wl.rng_for(3).random()
+        assert r1 == r2
+        assert wl.rng_for(3).random() != wl.rng_for(4).random()
+
+    def test_lock_and_barrier_ids_unique(self):
+        wl = ScriptedWorkload([[]])
+        ids = wl.new_locks(5) + [wl.new_lock()]
+        assert len(set(ids)) == 6
+        assert wl.new_barrier() != wl.new_barrier()
