@@ -7,6 +7,7 @@ from repro.analysis.invalidation import (
     figure2_series,
 )
 from repro.analysis.report import (
+    format_fault_report,
     format_histogram,
     format_series,
     format_table,
@@ -29,6 +30,7 @@ __all__ = [
     "format_table",
     "format_series",
     "format_histogram",
+    "format_fault_report",
     "normalized",
     "DistributionSummary",
     "broadcast_mass",

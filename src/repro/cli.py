@@ -94,12 +94,27 @@ def _print_stats(stats) -> None:
     print(f"avg invals per event: {stats.avg_invals_per_event:.2f}")
     if stats.sparse_replacements:
         print(f"sparse replacements : {stats.sparse_replacements:,}")
+    if stats.faults_injected or stats.fault_retries:
+        print(f"faults injected     : {stats.faults_injected:,} "
+              f"(drop={stats.fault_drops} dup={stats.fault_duplicates} "
+              f"delay={stats.fault_delays} nak={stats.fault_naks} "
+              f"corrupt={stats.fault_corruptions})")
+        print(f"request retries     : {stats.fault_retries:,}")
+    if stats.invariant_violations:
+        print(f"invariant violations: {stats.invariant_violations:,}")
 
 
 def cmd_run(args) -> int:
     """``repro run``: one app under one scheme, stats printed."""
     workload = _app_factory(args.app, args.procs, args.scale, args.seed)
-    stats = run_workload(_machine(args), workload, check=args.check)
+    stats = run_workload(
+        _machine(args),
+        workload,
+        check=args.check,
+        strict=args.strict,
+        faults=args.faults,
+        invariants="strict" if args.strict else None,
+    )
     print(f"{workload.name} on {args.procs} processors, scheme {args.scheme}")
     _print_stats(stats)
     if args.histogram:
@@ -235,6 +250,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--app", required=True)
     p.add_argument("--check", action="store_true",
                    help="verify coherence invariants after the run")
+    p.add_argument("--strict", action="store_true",
+                   help="check invariants after every transaction and "
+                        "raise on the first violation")
+    p.add_argument("--faults", type=int, default=None, metavar="SEED",
+                   help="inject seeded network/directory faults "
+                        "(deterministic per seed)")
     p.add_argument("--histogram", action="store_true",
                    help="print the invalidation distribution")
     p.set_defaults(func=cmd_run)

@@ -96,6 +96,22 @@ class DirectoryScheme(ABC):
     #: short identifier, e.g. ``"Dir32"`` or ``"Dir3CV2"``
     name: str
 
+    #: The scheme's representation contract, consumed by the runtime
+    #: invariant checker (:mod:`repro.machine.invariants`):
+    #:
+    #: * ``"exact"`` — every entry identifies its sharers exactly at all
+    #:   times (full bit vector, Dir_iNB, the SCI linked list); an entry
+    #:   of such a scheme reporting ``is_exact() == False`` is a
+    #:   representation bug, not a legal degradation;
+    #: * ``"coarse"`` — entries may degrade to a conservative *superset*
+    #:   on pointer overflow (Dir_iB's broadcast bit, Dir_iCV_r's region
+    #:   vector, Dir_iX's composite pointer, the overflow cache).
+    #:
+    #: Either way ``invalidation_targets`` must cover the true sharers —
+    #: the checker verifies coverage for all schemes and exactness only
+    #: for ``"exact"`` ones.
+    precision: str = "exact"
+
     def __init__(self, num_nodes: int, *, seed: int = 0) -> None:
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")

@@ -97,6 +97,8 @@ class CoarseVectorEntry(PointerListEntry):
 class CoarseVectorScheme(DirectoryScheme):
     """``Dir_iCV_r``: ``i`` pointers, overflow to regions of ``r`` nodes."""
 
+    precision = "coarse"  # region bits cover supersets after overflow
+
     def __init__(
         self,
         num_nodes: int,

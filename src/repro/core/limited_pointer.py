@@ -74,6 +74,8 @@ class BroadcastEntry(PointerListEntry):
 class LimitedPointerBroadcastScheme(DirectoryScheme):
     """``Dir_iB`` from Agarwal et al. [1], the paper's main strawman."""
 
+    precision = "coarse"  # the broadcast bit covers everyone
+
     def __init__(self, num_nodes: int, num_pointers: int = 3, *, seed: int = 0) -> None:
         super().__init__(num_nodes, seed=seed)
         if num_pointers < 1:

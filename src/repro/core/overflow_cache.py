@@ -147,6 +147,8 @@ class OverflowCacheEntry(PointerListEntry):
 class OverflowCacheScheme(DirectoryScheme):
     """``Dir_i`` pointers with a shared wide-entry overflow cache."""
 
+    precision = "coarse"  # falls back to broadcast when the cache is full
+
     def __init__(
         self,
         num_nodes: int,

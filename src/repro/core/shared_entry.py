@@ -19,7 +19,7 @@ how the suggestion is usually read and the cheapest-hardware variant.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.base import DirectoryScheme
 from repro.core.sparse import DirectoryStore, DirLine, Eviction
@@ -96,6 +96,9 @@ class SharedEntryDirectory(DirectoryStore):
 
     def capacity_entries(self) -> Optional[int]:
         return None
+
+    def lines(self) -> Iterator[Tuple[int, DirLine]]:
+        yield from self._lines.items()
 
     def blocks_invalidated_with(self, block: int) -> Tuple[int, ...]:
         group = self.group_of(block)

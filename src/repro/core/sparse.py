@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.base import DirectoryEntry, DirectoryScheme
 from repro.core.replacement import ReplacementPolicy, make_policy
@@ -101,6 +101,14 @@ class DirectoryStore(ABC):
         """
         return (block,)
 
+    def lines(self) -> "Iterator[Tuple[int, DirLine]]":
+        """Iterate ``(block, line)`` over every held line, no side effects.
+
+        Used by the runtime invariant checker to audit representation
+        contracts; concrete stores must override.
+        """
+        raise NotImplementedError
+
     @abstractmethod
     def capacity_entries(self) -> Optional[int]:
         """Number of entry slots, or ``None`` for an unbounded full map."""
@@ -140,6 +148,9 @@ class FullMapDirectory(DirectoryStore):
 
     def capacity_entries(self) -> Optional[int]:
         return None
+
+    def lines(self) -> Iterator[Tuple[int, DirLine]]:
+        yield from self._lines.items()
 
 
 @dataclass
@@ -308,6 +319,12 @@ class SparseDirectory(DirectoryStore):
 
     def capacity_entries(self) -> Optional[int]:
         return self.num_entries
+
+    def lines(self) -> Iterator[Tuple[int, DirLine]]:
+        for s, ways in enumerate(self._sets):
+            for way in ways:
+                if way.valid and way.line is not None:
+                    yield self._block_of(s, way.tag), way.line
 
     # -- introspection for tests/benchmarks --------------------------------
 

@@ -99,6 +99,8 @@ class SupersetEntry(PointerListEntry):
 class SupersetScheme(DirectoryScheme):
     """``Dir_iX`` (the paper's terminology for the scheme suggested in [1])."""
 
+    precision = "coarse"  # the composite pointer covers a superset
+
     def __init__(self, num_nodes: int, num_pointers: int = 2, *, seed: int = 0) -> None:
         super().__init__(num_nodes, seed=seed)
         if num_pointers < 1:

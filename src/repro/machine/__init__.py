@@ -17,8 +17,20 @@ deterministic under a fixed seed.
 
 from repro.machine.config import MachineConfig
 from repro.machine.events import EventQueue
+from repro.machine.faults import (
+    FaultBudgetExceeded,
+    FaultKind,
+    FaultPlan,
+)
+from repro.machine.invariants import CoherenceViolation, InvariantChecker
 from repro.machine.messages import MsgClass
-from repro.machine.network import MeshNetwork, Network, UniformNetwork, make_network
+from repro.machine.network import (
+    FaultyNetwork,
+    MeshNetwork,
+    Network,
+    UniformNetwork,
+    make_network,
+)
 from repro.machine.stats import InvalCause, SimStats
 from repro.machine.system import DashSystem, run_workload
 
@@ -29,7 +41,13 @@ __all__ = [
     "Network",
     "UniformNetwork",
     "MeshNetwork",
+    "FaultyNetwork",
     "make_network",
+    "FaultPlan",
+    "FaultKind",
+    "FaultBudgetExceeded",
+    "InvariantChecker",
+    "CoherenceViolation",
     "SimStats",
     "InvalCause",
     "DashSystem",

@@ -191,3 +191,19 @@ class ProcessorCache:
     def writeback_done(self, block: int) -> None:
         """Home has processed our writeback; release the buffer slot."""
         self.wb_buffer.discard(block)
+
+    # -- auditing ----------------------------------------------------------
+
+    def check_inclusion(self) -> List[int]:
+        """Blocks violating the inclusion invariant (L1 without L2 backing).
+
+        The L2 is the coherence point: an L1 line the L2 does not back
+        would survive invalidations addressed to the L2.  Returns the
+        offending blocks (empty when the hierarchy is consistent); the
+        runtime invariant checker audits this on every machine scan.
+        """
+        return [
+            block
+            for block, _state in self.l1.blocks()
+            if self.l2.peek(block) is None
+        ]

@@ -69,6 +69,11 @@ class MachineConfig:
     #: (and the end of the program) fence until outstanding writes drain.
     release_consistency: bool = False
 
+    # -- robustness ---------------------------------------------------------------
+    #: invariant-checker horizon: a transaction outstanding longer than
+    #: this (doubled per fault-layer retry) trips the watchdog invariant
+    watchdog_cycles: float = 50_000.0
+
     # -- misc -------------------------------------------------------------------
     seed: int = 0
 
@@ -121,6 +126,8 @@ class MachineConfig:
                 )
         if self.network not in ("uniform", "mesh"):
             raise ValueError("network must be 'uniform' or 'mesh'")
+        if self.watchdog_cycles <= 0:
+            raise ValueError("watchdog_cycles must be positive")
 
     def with_(self, **changes) -> "MachineConfig":
         """A modified copy (dataclasses.replace wrapper)."""

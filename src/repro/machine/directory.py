@@ -31,6 +31,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Set
 
 from repro.core.sparse import AllWaysBusy, DirectoryStore, DirLine, Eviction
+from repro.machine.faults import FaultBudgetExceeded, FaultKind
 from repro.machine.messages import MsgClass
 from repro.machine.stats import InvalCause
 
@@ -46,7 +47,8 @@ HINT = "hint"
 class Transaction:
     """One memory transaction travelling to a home directory."""
 
-    __slots__ = ("kind", "block", "requester", "proc_idx", "on_complete", "still_shared")
+    __slots__ = ("kind", "block", "requester", "proc_idx", "on_complete",
+                 "still_shared", "attempts", "delivered")
 
     def __init__(
         self,
@@ -63,6 +65,10 @@ class Transaction:
         self.proc_idx = proc_idx
         self.on_complete = on_complete
         self.still_shared = still_shared
+        #: fault-layer redeliveries so far (drops and NAKs)
+        self.attempts = 0
+        #: accepted at the home once — duplicate deliveries are deduped
+        self.delivered = False
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Txn {self.kind} block={self.block} from={self.requester}>"
@@ -93,17 +99,120 @@ class DirectoryController:
         """Send ``txn`` to this home; called at the requester's issue time."""
         machine = self.machine
         machine.count_msg(MsgClass.REQUEST, txn.requester, self.cluster_id)
-        arrival = machine.events.now + machine.network.leg(
-            txn.requester, self.cluster_id
+        if machine.invariants is not None:
+            machine.invariants.on_submit(txn, machine.events.now)
+        self._send(txn)
+
+    def _send(self, txn: Transaction) -> None:
+        """Put the request on the wire (clean path or via the fault layer)."""
+        machine = self.machine
+        net = machine.network
+        now = machine.events.now
+        deliver = getattr(net, "deliver", None)
+        if deliver is None:
+            arrival = now + net.leg(txn.requester, self.cluster_id)
+            machine.events.at(arrival, lambda: self._arrive(txn))
+            return
+        # Replacement hints depend on point-to-point ordering (a delayed
+        # hint could erase a re-fetched sharer) and are pure optimization,
+        # so they are never delayed and never retried — see faults.py.
+        best_effort = txn.kind == HINT
+        d = deliver(
+            txn.requester, self.cluster_id, now, reorderable=not best_effort
         )
-        machine.events.at(arrival, lambda: self._arrive(txn))
+        if d.fault is not None:
+            machine.stats.count_fault(d.fault)
+        if not d.arrivals:
+            # dropped in the interconnect: the requester's timeout fires
+            # and the request is reissued with exponential backoff
+            if best_effort:
+                self._abandon(txn)
+            else:
+                self._schedule_retry(txn, 0.0)
+            return
+        if d.nak:
+            # the home refuses service: the NAK rides the reply class, and
+            # the requester retries after the observed round trip
+            machine.count_msg(MsgClass.REPLY, self.cluster_id, txn.requester)
+            if best_effort:
+                self._abandon(txn)
+            else:
+                round_trip = (d.arrivals[0] - now) + net.leg(
+                    self.cluster_id, txn.requester
+                )
+                self._schedule_retry(txn, round_trip)
+            return
+        for arrival in d.arrivals:
+            machine.events.at(arrival, lambda: self._arrive(txn))
+
+    def _abandon(self, txn: Transaction) -> None:
+        """Drop a best-effort request for good (hints are optimizations)."""
+        if self.machine.invariants is not None:
+            self.machine.invariants.on_abandon(txn)
+
+    def _schedule_retry(self, txn: Transaction, extra_delay: float) -> None:
+        """Reissue a faulted request after (bounded) exponential backoff."""
+        machine = self.machine
+        plan = machine.fault_plan
+        txn.attempts += 1
+        if txn.attempts > plan.max_retries:
+            raise FaultBudgetExceeded(
+                f"{txn.kind} request for block {txn.block} from cluster "
+                f"{txn.requester} to home {self.cluster_id} failed "
+                f"{txn.attempts} deliveries (max_retries="
+                f"{plan.max_retries})",
+                kind=txn.kind,
+                block=txn.block,
+                attempts=txn.attempts,
+            )
+        machine.stats.fault_retries += 1
+        delay = extra_delay + plan.backoff(txn.attempts)
+        machine.events.after(delay, lambda: self._resend(txn))
+
+    def _resend(self, txn: Transaction) -> None:
+        """The retry is a real message: count it, then send again."""
+        self.machine.count_msg(MsgClass.REQUEST, txn.requester, self.cluster_id)
+        self._send(txn)
 
     def _arrive(self, txn: Transaction) -> None:
+        if txn.delivered:
+            # duplicate copy of an already-accepted request: the home
+            # dedupes by sequence number and discards it silently
+            return
+        txn.delivered = True
+        plan = self.machine.fault_plan
+        if plan is not None and plan.corruption():
+            # counted at roll time: the pulse happened even if the line it
+            # hit was busy/dirty/absent and absorbed it without effect
+            self.machine.stats.count_fault(FaultKind.CORRUPT)
+            self._inject_corruption(txn.block)
         if txn.block in self._busy:
             self._pending.setdefault(txn.block, deque()).append(txn)
             return
         self._busy.add(txn.block)
         self._start(txn)
+
+    def _inject_corruption(self, block: int) -> None:
+        """Transient directory corruption: record a phantom sharer.
+
+        Routed through the normal :meth:`_record_sharer` path, so the
+        corruption is *conservative* (the presence entry stays a superset
+        of the truth) and any Dir_iNB forced eviction it triggers follows
+        the real protocol.  Blocks with in-flight transactions — their
+        own or a pooled group-mate's — are skipped: their installs land
+        only at completion, which the phantom eviction would miss.
+        """
+        if any(
+            b in self._busy for b in self.store.blocks_invalidated_with(block)
+        ):
+            return
+        line = self.store.lookup(block)
+        if line is None or line.dirty:
+            return
+        node = self.machine.fault_plan.spurious_sharer(
+            self.machine.config.num_clusters
+        )
+        self._record_sharer(line, node, block)
 
     def _start(self, txn: Transaction) -> None:
         """Queue on the controller (FIFO occupancy), then execute."""
@@ -157,6 +266,10 @@ class DirectoryController:
             # visible before the next transaction on this block executes.
             txn.on_complete(now)
         self._busy.discard(txn.block)
+        if self.machine.invariants is not None:
+            # after the completion effects and the busy release, so a
+            # strict scan sees this block's final (coherent) state
+            self.machine.invariants.on_finish(txn, now)
         queue = self._pending.get(txn.block)
         if queue:
             nxt = queue.popleft()
@@ -233,6 +346,15 @@ class DirectoryController:
                 inval_msgs += 1
         machine.stats.nb_evictions += len(victims)
         machine.stats.record_inval_event(InvalCause.NB_EVICT, inval_msgs)
+        if machine.invariants is not None:
+            # acks return to the home's RAC, so recipient == home
+            machine.invariants.on_inval_round(
+                home=home,
+                recipient=home,
+                targets=victims,
+                invals=inval_msgs,
+                acks=inval_msgs,
+            )
 
     # -- writes -----------------------------------------------------------------
 
@@ -338,6 +460,15 @@ class DirectoryController:
         if not serial:
             self._ctrl_free += len(targets) * cfg.inval_issue_cycles
         machine.stats.record_inval_event(InvalCause.WRITE, inval_msgs)
+        if machine.invariants is not None:
+            # the writer collects one ack per target (targets exclude req)
+            machine.invariants.on_inval_round(
+                home=home,
+                recipient=req,
+                targets=targets,
+                invals=inval_msgs,
+                acks=len(targets),
+            )
         machine.count_msg(MsgClass.REPLY, home, req)  # ownership (+inval count)
 
         line.dirty = True
@@ -446,6 +577,15 @@ class DirectoryController:
             self._ctrl_free += len(ev.targets) * cfg.inval_issue_cycles
             if ev.targets:
                 machine.stats.record_inval_event(InvalCause.SPARSE_REPL, inval_msgs)
+            if machine.invariants is not None:
+                # replacement acks also return to the home's RAC (§7)
+                machine.invariants.on_inval_round(
+                    home=home,
+                    recipient=home,
+                    targets=ev.targets,
+                    invals=inval_msgs,
+                    acks=inval_msgs,
+                )
             penalty = max(penalty, worst)
         # The RAC entry tracking this recall holds the *slot* until every
         # acknowledgement has returned (§7): the triggering transaction

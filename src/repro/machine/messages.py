@@ -11,6 +11,12 @@ the request class; grants and data travel in the reply class.  Only
 *inter-cluster* messages are counted — intra-cluster traffic rides the
 snoopy bus, which is why the home cluster "does not require an
 invalidation" in the paper's broadcast accounting.
+
+Negative acknowledgements (NAKs) — sent by a home refusing service when
+the fault layer is active, as on real DASH hardware — ride the *reply*
+class: they are directory-to-cache responses, just without a grant.  The
+retried request is then counted again in the request class, so fault-era
+traffic totals reflect every message that actually crossed the network.
 """
 
 from __future__ import annotations

@@ -9,12 +9,19 @@ message latency in processor cycles (0 within a cluster):
 * :class:`MeshNetwork` — the 2-D wormhole mesh of Figure 1, with XY
   routing and per-hop cost, for studies where placement/locality matters
   (e.g. the multiprogramming ablation).
+
+:class:`FaultyNetwork` wraps either model with a
+:class:`~repro.machine.faults.FaultPlan`: latency still comes from the
+inner model, and the ``deliver`` hook turns one logical send into zero,
+one, or two arrival times plus an optional busy NAK.
 """
 
 from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+
+from repro.machine.faults import Delivery, FaultKind, FaultPlan
 
 
 class Network(ABC):
@@ -69,10 +76,22 @@ class MeshNetwork(Network):
         super().__init__(num_clusters)
         if width is None:
             width = max(1, int(math.sqrt(num_clusters)))
-        if width < 1:
-            raise ValueError("width must be >= 1")
+        if isinstance(width, bool) or not isinstance(width, int):
+            raise ValueError(f"width must be an integer, got {width!r}")
+        if width <= 0:
+            raise ValueError(f"width must be >= 1, got {width}")
+        if width > num_clusters:
+            raise ValueError(
+                f"width {width} exceeds num_clusters {num_clusters}: the "
+                f"mesh would have empty columns"
+            )
         self.width = width
         self.height = math.ceil(num_clusters / width)
+        if self.width * self.height < num_clusters:  # pragma: no cover
+            raise ValueError(
+                f"{self.width}x{self.height} mesh cannot hold "
+                f"{num_clusters} clusters"
+            )
         self.base_cycles = base_cycles
         self.hop_cycles = hop_cycles
 
@@ -91,6 +110,45 @@ class MeshNetwork(Network):
         if src == dst:
             return 0.0
         return self.base_cycles + self.hops(src, dst) * self.hop_cycles
+
+
+class FaultyNetwork(Network):
+    """Fault-injecting wrapper around any latency model.
+
+    ``leg`` delegates to the inner network unchanged; ``deliver`` rolls
+    the plan for one request message and returns its arrival schedule.
+    Intra-cluster sends (``src == dst``) ride the local bus and are never
+    faulted.
+    """
+
+    def __init__(self, inner: Network, plan: FaultPlan) -> None:
+        super().__init__(inner.num_clusters)
+        self.inner = inner
+        self.plan = plan
+
+    def leg(self, src: int, dst: int) -> float:
+        return self.inner.leg(src, dst)
+
+    def deliver(
+        self, src: int, dst: int, now: float, *, reorderable: bool = True
+    ) -> Delivery:
+        """Arrival schedule for one request message sent at ``now``."""
+        leg = self.inner.leg(src, dst)
+        if src == dst:
+            return Delivery(arrivals=(now + leg,))
+        kind = self.plan.message_fault(reorderable=reorderable)
+        if kind is None:
+            return Delivery(arrivals=(now + leg,))
+        if kind is FaultKind.DROP:
+            return Delivery(arrivals=(), fault=kind)
+        if kind is FaultKind.DUPLICATE:
+            # the echoed copy trails the original by one extra leg
+            return Delivery(arrivals=(now + leg, now + 2 * leg), fault=kind)
+        if kind is FaultKind.DELAY:
+            held = leg * self.plan.delay_legs()
+            return Delivery(arrivals=(now + leg + held,), fault=kind)
+        # NAK: the message arrives, but the home refuses to service it
+        return Delivery(arrivals=(now + leg,), nak=True, fault=kind)
 
 
 def make_network(kind: str, num_clusters: int, **kwargs) -> Network:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List
 
+from repro.machine.faults import FaultKind
 from repro.machine.messages import MSG_LABELS, MsgClass
 
 
@@ -64,6 +65,12 @@ class SimStats:
         self.nb_evictions = 0
         self.lock_acquires = 0
         self.barrier_waits = 0
+        #: injected faults by kind (empty unless a FaultPlan is active)
+        self.fault_counts: Counter = Counter()
+        #: request retries forced by drops and NAKs
+        self.fault_retries = 0
+        #: coherence-invariant violations recorded by the checker
+        self.invariant_violations = 0
 
     # -- recording --------------------------------------------------------
 
@@ -71,6 +78,11 @@ class SimStats:
         """Add ``n`` messages of a class."""
         if n:
             self.messages[msg_class] += n
+
+    def count_fault(self, kind: FaultKind, n: int = 1) -> None:
+        """Record ``n`` injected faults of a kind."""
+        if n:
+            self.fault_counts[kind] += n
 
     def record_inval_event(self, cause: InvalCause, size: int) -> None:
         """Histogram one invalidation event of ``size`` messages."""
@@ -138,9 +150,48 @@ class SimStats:
             "inval_ack": self.inval_plus_ack,
         }
 
+    # -- fault/robustness counters ------------------------------------------
+
+    @property
+    def faults_injected(self) -> int:
+        return sum(self.fault_counts.values())
+
+    @property
+    def fault_drops(self) -> int:
+        return self.fault_counts.get(FaultKind.DROP, 0)
+
+    @property
+    def fault_duplicates(self) -> int:
+        return self.fault_counts.get(FaultKind.DUPLICATE, 0)
+
+    @property
+    def fault_delays(self) -> int:
+        return self.fault_counts.get(FaultKind.DELAY, 0)
+
+    @property
+    def fault_naks(self) -> int:
+        return self.fault_counts.get(FaultKind.NAK, 0)
+
+    @property
+    def fault_corruptions(self) -> int:
+        return self.fault_counts.get(FaultKind.CORRUPT, 0)
+
+    def fault_summary(self) -> Dict[str, int]:
+        """Flat fault/robustness counters (reports, CLI, fault suite)."""
+        return {
+            "faults_injected": self.faults_injected,
+            "fault_drops": self.fault_drops,
+            "fault_duplicates": self.fault_duplicates,
+            "fault_delays": self.fault_delays,
+            "fault_naks": self.fault_naks,
+            "fault_corruptions": self.fault_corruptions,
+            "fault_retries": self.fault_retries,
+            "invariant_violations": self.invariant_violations,
+        }
+
     def to_dict(self) -> Dict[str, object]:
         """Flat summary for reports and benchmark output."""
-        return {
+        out: Dict[str, object] = {
             "exec_time": self.exec_time,
             "total_messages": self.total_messages,
             **{MSG_LABELS[c]: self.messages.get(c, 0) for c in MsgClass},
@@ -155,6 +206,11 @@ class SimStats:
             "sparse_replacements": self.sparse_replacements,
             "nb_evictions": self.nb_evictions,
         }
+        # Only present when the robustness layer actually did something,
+        # so fault-free runs stay byte-identical to the historical format.
+        if self.faults_injected or self.fault_retries or self.invariant_violations:
+            out.update(self.fault_summary())
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -12,7 +12,7 @@ benchmark.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
 from repro.core.base import DirectoryScheme
 from repro.core.registry import make_scheme
@@ -26,8 +26,10 @@ from repro.machine.cluster import Cluster
 from repro.machine.config import MachineConfig
 from repro.machine.directory import HINT, READ, WRITE, WRITEBACK, DirectoryController, Transaction
 from repro.machine.events import EventQueue
+from repro.machine.faults import FaultPlan
+from repro.machine.invariants import InvariantChecker, machine_state_violations
 from repro.machine.messages import MsgClass
-from repro.machine.network import make_network
+from repro.machine.network import FaultyNetwork, make_network
 from repro.machine.processor import Processor
 from repro.machine.stats import SimStats
 from repro.machine.sync import SyncManager
@@ -44,6 +46,8 @@ class DashSystem:
         *,
         scheme: Optional[DirectoryScheme] = None,
         strict: bool = False,
+        faults: Optional[Union[int, FaultPlan]] = None,
+        invariants: Optional[str] = None,
     ) -> None:
         config.validate()
         if workload.num_processors != config.num_processors:
@@ -63,6 +67,19 @@ class DashSystem:
         self.events = EventQueue()
         self.stats = SimStats(config.num_processors)
         self.network = make_network(config.network, config.num_clusters)
+        #: active fault plan, or None for the (byte-identical) clean path
+        self.fault_plan: Optional[FaultPlan] = None
+        if faults is not None:
+            plan = faults if isinstance(faults, FaultPlan) else FaultPlan(faults)
+            self.fault_plan = plan
+            self.network = FaultyNetwork(self.network, plan)
+        #: runtime invariant checker, or None when checking is off
+        self.invariants: Optional[InvariantChecker] = None
+        if invariants is None:
+            # default: watch faulty runs (sampled), stay out of clean runs
+            invariants = "sampled" if faults is not None else "off"
+        if invariants != "off":
+            self.invariants = InvariantChecker(self, invariants)
         self.scheme = scheme if scheme is not None else make_scheme(
             config.scheme, config.num_clusters, seed=config.seed
         )
@@ -221,6 +238,8 @@ class DashSystem:
         self.stats.exec_time = max(
             (p.stats.finish_time for p in self.processors), default=0.0
         )
+        if self.invariants is not None and max_events is None:
+            self.invariants.finalize(self.events.now)
         return self.stats
 
     # -- invariant checking (used heavily in tests) ------------------------------------
@@ -231,57 +250,18 @@ class DashSystem:
         * a DIRTY block lives in exactly one cluster, and the home
           directory records that cluster as the owner;
         * every cluster holding a clean copy is covered by the home
-          directory's (possibly conservative) sharer set.
+          directory's (possibly conservative) sharer set;
+        * every L1 line has an L2 backing line, and schemes declaring
+          themselves precise have not degraded any presence entry.
+
+        The full invariant definitions live in
+        :mod:`repro.machine.invariants`; this raises the first
+        :class:`~repro.machine.invariants.CoherenceViolation` found (a
+        subclass of :class:`AssertionError`, so historical callers keep
+        working).
         """
-        holders: dict[int, list[tuple[int, bool]]] = {}
-        for cluster in self.clusters:
-            for cache in cluster.caches:
-                for block, state in cache.l2.blocks():
-                    holders.setdefault(block, []).append(
-                        (cluster.cluster_id, state.name == "DIRTY")
-                    )
-        for block, copies in holders.items():
-            dirty_clusters = {c for c, d in copies if d}
-            all_clusters = {c for c, _ in copies}
-            home = self.home_of(block)
-            line = self.directories[home].store.lookup(block)
-            if dirty_clusters:
-                if len(dirty_clusters) > 1:
-                    raise AssertionError(
-                        f"block {block} dirty in clusters {dirty_clusters}"
-                    )
-                (owner,) = dirty_clusters
-                if len(all_clusters) > 1:
-                    # other copies must be in the same cluster as the owner
-                    raise AssertionError(
-                        f"dirty block {block} also cached in {all_clusters}"
-                    )
-                if line is None or not line.dirty or line.owner != owner:
-                    # a writeback may be in flight; then the cache line is
-                    # a wb-buffer ghost, not an L2 line, so reaching here
-                    # is a real violation
-                    raise AssertionError(
-                        f"directory does not record cluster {owner} as owner "
-                        f"of dirty block {block} (line={line})"
-                    )
-            else:
-                if line is None:
-                    raise AssertionError(
-                        f"clean block {block} cached in {all_clusters} but "
-                        f"home has no directory line"
-                    )
-                if line.dirty:
-                    raise AssertionError(
-                        f"directory marks block {block} dirty (owner "
-                        f"{line.owner}) but only clean copies exist in "
-                        f"{all_clusters}"
-                    )
-                covered = set(line.entry.invalidation_targets())
-                if not all_clusters <= covered:
-                    raise AssertionError(
-                        f"clean block {block} cached in {all_clusters} but "
-                        f"directory only covers {covered}"
-                    )
+        for violation in machine_state_violations(self):
+            raise violation
 
 
 def run_workload(
@@ -290,9 +270,25 @@ def run_workload(
     *,
     scheme: Optional[DirectoryScheme] = None,
     check: bool = False,
+    strict: bool = False,
+    faults: Optional[Union[int, FaultPlan]] = None,
+    invariants: Optional[str] = None,
 ) -> SimStats:
-    """Build a machine, run the workload, optionally verify coherence."""
-    system = DashSystem(config, workload, scheme=scheme)
+    """Build a machine, run the workload, optionally verify coherence.
+
+    ``faults`` — an int seed or a :class:`FaultPlan` enables fault
+    injection; ``invariants`` — ``"strict"`` / ``"sampled"`` / ``"off"``
+    (default: sampled when faults are enabled, off otherwise);
+    ``strict`` makes the first invariant violation raise immediately.
+    """
+    system = DashSystem(
+        config,
+        workload,
+        scheme=scheme,
+        strict=strict,
+        faults=faults,
+        invariants=invariants,
+    )
     stats = system.run()
     if check:
         system.check_coherence()

@@ -34,6 +34,19 @@ class TestRun:
         assert code == 0
         assert "sparse replacements" in out
 
+    def test_run_with_faults(self, capsys):
+        code, out = run_cli(capsys, "run", "--app", "MP3D", *SMALL,
+                            "--faults", "7", "--check")
+        assert code == 0
+        assert "faults injected" in out
+        assert "invariant violations" not in out  # zero stays silent
+
+    def test_run_strict(self, capsys):
+        code, out = run_cli(capsys, "run", "--app", "LU", *SMALL,
+                            "--strict", "--faults", "7")
+        assert code == 0
+        assert "request retries" in out
+
     def test_unknown_app(self):
         with pytest.raises(SystemExit):
             main(["run", "--app", "NoSuchApp", *SMALL])

@@ -98,3 +98,43 @@ class TestPresets:
         cfg = dash_prototype_config(scheme="Dir3CV2")
         assert cfg.scheme == "Dir3CV2"
         assert cfg.num_clusters == 16
+
+
+class TestMeshValidation:
+    """MeshNetwork construction must reject degenerate geometries."""
+
+    def _mesh(self, num_clusters, width=None):
+        from repro.machine.network import MeshNetwork
+
+        return MeshNetwork(num_clusters, width)
+
+    @pytest.mark.parametrize("width", [0, -1, -8])
+    def test_rejects_non_positive_width(self, width):
+        with pytest.raises(ValueError, match="width must be >= 1"):
+            self._mesh(16, width)
+
+    @pytest.mark.parametrize("width", [2.0, "4", True])
+    def test_rejects_non_integer_width(self, width):
+        with pytest.raises(ValueError, match="integer"):
+            self._mesh(16, width)
+
+    def test_rejects_width_exceeding_clusters(self):
+        with pytest.raises(ValueError, match="empty columns"):
+            self._mesh(4, 8)
+
+    def test_accepts_boundary_widths(self):
+        assert self._mesh(4, 4).height == 1
+        assert self._mesh(4, 1).height == 4
+        ragged = self._mesh(6, 4)  # last row partially filled is fine
+        assert (ragged.width, ragged.height) == (4, 2)
+
+    def test_default_width_is_near_square(self):
+        mesh = self._mesh(16)
+        assert (mesh.width, mesh.height) == (4, 4)
+
+    def test_make_network_passes_width_through(self):
+        from repro.machine.network import make_network
+
+        with pytest.raises(ValueError):
+            make_network("mesh", 4, width=0)
+        assert make_network("mesh", 8, width=2).height == 4
