@@ -11,6 +11,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.machine.stats import SimStats
+    from repro.verify.explorer import ExploreResult
 
 
 def format_table(
@@ -79,6 +80,30 @@ def format_fault_report(stats: "SimStats") -> str:
     summary = stats.fault_summary()
     return format_table(
         ["counter", "count"], [(k, v) for k, v in summary.items()]
+    )
+
+
+def format_verification_report(results: Iterable["ExploreResult"]) -> str:
+    """One row per model-checked configuration (``repro verify check``).
+
+    The verdict column is ``ok`` for an exhausted, violation-free state
+    space, ``TRUNCATED`` when the state bound cut the search short, or
+    the name of the violated invariant.
+    """
+    rows: List[Sequence[object]] = []
+    for r in results:
+        if r.violation is not None:
+            verdict = r.violation.invariant
+        elif r.truncated:
+            verdict = "TRUNCATED"
+        else:
+            verdict = "ok"
+        rows.append(
+            [r.scheme, r.num_nodes, r.states, r.transitions, r.max_depth,
+             verdict]
+        )
+    return format_table(
+        ["scheme", "nodes", "states", "transitions", "depth", "verdict"], rows
     )
 
 

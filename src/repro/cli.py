@@ -223,6 +223,13 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    """``repro verify``: delegate to the model checker / lint CLI."""
+    from repro.verify.cli import main as verify_main
+
+    return verify_main(args.verify_args)
+
+
 def _add_machine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--procs", type=int, default=32, help="processors (= clusters)")
     p.add_argument("--scheme", default="full", help="directory scheme name")
@@ -301,6 +308,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheme", default="full")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "verify", help="model-check schemes / lint the simulator sources"
+    )
+    p.add_argument(
+        "verify_args",
+        nargs=argparse.REMAINDER,
+        metavar="...",
+        help="arguments for repro.verify (try: verify check --scheme full -n 3)",
+    )
+    p.set_defaults(func=cmd_verify)
 
     return parser
 

@@ -15,7 +15,7 @@ refer to schemes by the paper's notation; this module parses it:
 from __future__ import annotations
 
 import re
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Match, Pattern, Tuple
 
 from repro.core.base import DirectoryScheme
 from repro.core.coarse_vector import CoarseVectorScheme
@@ -38,16 +38,42 @@ SCHEME_FACTORIES: Dict[str, Callable[..., DirectoryScheme]] = {
     "overflow": OverflowCacheScheme,
 }
 
-_PATTERNS = [
+_Builder = Callable[[Match[str], int, int], DirectoryScheme]
+
+
+def _linked_list_checked(m: Match[str], n: int, s: int) -> DirectoryScheme:
+    """``DirLL`` or ``DirLL<k>`` (the scheme's own ``name``), k must be N."""
+    if m.group(1) and int(m.group(1)) != n:
+        raise ValueError(
+            f"'DirLL{m.group(1)}' names a linked-list directory for "
+            f"{m.group(1)} nodes, but num_nodes={n}. Use plain 'DirLL' to "
+            f"size it to the machine."
+        )
+    return LinkedListScheme(n, seed=s)
+
+
+def _full_bit_vector_checked(m: Match[str], n: int, s: int) -> DirectoryScheme:
+    """``Dir<k>``: the paper's full-bit-vector notation, valid iff k == N."""
+    k = int(m.group(1))
+    if k == n:
+        return FullBitVectorScheme(n, seed=s)
+    raise ValueError(
+        f"'Dir{k}' denotes the full-bit-vector scheme and requires k == num_nodes, "
+        f"but k={k} while num_nodes={n}. Did you mean 'Dir{k}B', 'Dir{k}NB', "
+        f"'Dir{k}X', or 'Dir{k}CV<r>'?"
+    )
+
+
+_PATTERNS: List[Tuple[Pattern[str], _Builder]] = [
     # order matters: NB before B, CV/OF before bare numeric forms
     (re.compile(r"^dir(\d+)nb$"), lambda m, n, s: LimitedPointerNoBroadcastScheme(n, int(m.group(1)), seed=s)),
     (re.compile(r"^dir(\d+)b$"), lambda m, n, s: LimitedPointerBroadcastScheme(n, int(m.group(1)), seed=s)),
     (re.compile(r"^dir(\d+)x$"), lambda m, n, s: SupersetScheme(n, int(m.group(1)), seed=s)),
     (re.compile(r"^dir(\d+)cv(\d+)$"), lambda m, n, s: CoarseVectorScheme(n, int(m.group(1)), int(m.group(2)), seed=s)),
     (re.compile(r"^dir(\d+)of(\d+)$"), lambda m, n, s: OverflowCacheScheme(n, int(m.group(1)), int(m.group(2)), seed=s)),
-    (re.compile(r"^dirll$"), lambda m, n, s: LinkedListScheme(n, seed=s)),
+    (re.compile(r"^dirll(\d*)$"), _linked_list_checked),
     (re.compile(r"^dirn$"), lambda m, n, s: FullBitVectorScheme(n, seed=s)),
-    (re.compile(r"^dir(\d+)$"), None),  # handled specially below
+    (re.compile(r"^dir(\d+)$"), _full_bit_vector_checked),
 ]
 
 
@@ -55,23 +81,16 @@ def make_scheme(name: str, num_nodes: int, *, seed: int = 0) -> DirectoryScheme:
     """Build a scheme from the paper's ``Dir...`` notation or an alias.
 
     ``Dir<k>`` with ``k == num_nodes`` (e.g. ``Dir32`` on a 32-node
-    machine) means the full bit vector, matching the paper's usage.
+    machine) means the full bit vector, matching the paper's usage; any
+    other ``k`` raises a :class:`ValueError` naming both ``k`` and
+    ``num_nodes``.  Names are case-insensitive and may be spelled with
+    spaces or underscores (``"Dir 3 CV 2"`` == ``"dir_3_cv_2"``).
     """
     key = name.strip().lower().replace("_", "").replace(" ", "")
     if key in SCHEME_FACTORIES:
         return SCHEME_FACTORIES[key](num_nodes, seed=seed)
     for pattern, build in _PATTERNS:
         m = pattern.match(key)
-        if not m:
-            continue
-        if build is not None:
+        if m:
             return build(m, num_nodes, seed)
-        k = int(m.group(1))
-        if k == num_nodes:
-            return FullBitVectorScheme(num_nodes, seed=seed)
-        raise ValueError(
-            f"'Dir{k}' is the full-bit-vector notation; it must equal the "
-            f"node count ({num_nodes}). Did you mean 'Dir{k}B', 'Dir{k}NB', "
-            f"or 'Dir{k}CV<r>'?"
-        )
     raise ValueError(f"unrecognized scheme name {name!r}")

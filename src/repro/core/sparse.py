@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.core.base import DirectoryEntry, DirectoryScheme
 from repro.core.replacement import ReplacementPolicy, make_policy
@@ -76,7 +76,7 @@ class DirectoryStore(ABC):
 
     @abstractmethod
     def get_or_allocate(
-        self, block: int, avoid: frozenset = frozenset()
+        self, block: int, avoid: FrozenSet[int] = frozenset()
     ) -> Tuple[DirLine, List[Eviction]]:
         """The line for ``block``, allocating if needed.
 
@@ -130,7 +130,7 @@ class FullMapDirectory(DirectoryStore):
         return self._lines.get(block)
 
     def get_or_allocate(
-        self, block: int, avoid: frozenset = frozenset()
+        self, block: int, avoid: FrozenSet[int] = frozenset()
     ) -> Tuple[DirLine, List[Eviction]]:
         line = self._lines.get(block)
         if line is None:
@@ -244,7 +244,7 @@ class SparseDirectory(DirectoryStore):
         return None
 
     def get_or_allocate(
-        self, block: int, avoid: frozenset = frozenset()
+        self, block: int, avoid: FrozenSet[int] = frozenset()
     ) -> Tuple[DirLine, List[Eviction]]:
         s = self.set_index(block)
         tag = self.tag_of(block)
@@ -331,6 +331,21 @@ class SparseDirectory(DirectoryStore):
     def occupancy(self) -> int:
         """Number of valid entries currently held."""
         return sum(way.valid for ways in self._sets for way in ways)
+
+    def layout(self) -> Tuple[Tuple[int, ...], ...]:
+        """Resident block per (set, way); ``-1`` marks an empty way.
+
+        A side-effect-free snapshot of the placement (no replacement-policy
+        touches), used by the model checker's canonical state encoding and
+        handy for audits/tests.
+        """
+        return tuple(
+            tuple(
+                self._block_of(s, way.tag) if way.valid else -1
+                for way in ways
+            )
+            for s, ways in enumerate(self._sets)
+        )
 
 
 def sparse_entries_for_size_factor(

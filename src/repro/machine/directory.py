@@ -28,7 +28,17 @@ Invalidation accounting matches the paper's conventions:
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Set
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Deque,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from repro.core.sparse import AllWaysBusy, DirectoryStore, DirLine, Eviction
 from repro.machine.faults import FaultBudgetExceeded, FaultKind
@@ -88,7 +98,12 @@ class DirectoryController:
         self._ctrl_free = 0.0
         #: (block, cluster) -> number of in-flight writebacks that were
         #: obsoleted by a subsequent ownership re-grant and must be dropped
-        self._cancelled_wb: Dict[tuple, int] = {}
+        self._cancelled_wb: Dict[Tuple[int, int], int] = {}
+        #: (block, cluster) -> writebacks submitted but not yet serviced.
+        #: The home tracks this itself because the cluster-side
+        #: writeback-buffer ghost can be cleared (by an invalidation)
+        #: while the writeback message is still travelling.
+        self._wb_inflight: Dict[Tuple[int, int], int] = {}
         #: grouped writes currently in NAK-retry because a group-mate's
         #: transaction is in flight (see _execute_write's tie-break)
         self._deferred_writes: Set[int] = set()
@@ -98,6 +113,9 @@ class DirectoryController:
     def submit(self, txn: Transaction) -> None:
         """Send ``txn`` to this home; called at the requester's issue time."""
         machine = self.machine
+        if txn.kind == WRITEBACK:
+            key = (txn.block, txn.requester)
+            self._wb_inflight[key] = self._wb_inflight.get(key, 0) + 1
         machine.count_msg(MsgClass.REQUEST, txn.requester, self.cluster_id)
         if machine.invariants is not None:
             machine.invariants.on_submit(txn, machine.events.now)
@@ -255,7 +273,7 @@ class DirectoryController:
         delay = self.machine.config.ctrl_occupancy_cycles + 1.0
         self.machine.events.after(delay, lambda: self._execute(txn))
 
-    def _pinned_blocks(self, current: int) -> frozenset:
+    def _pinned_blocks(self, current: int) -> FrozenSet[int]:
         """Blocks whose directory entries must not be victimized now."""
         return frozenset(b for b in self._busy if b != current)
 
@@ -375,6 +393,9 @@ class DirectoryController:
             owner = line.owner
             machine.clusters[owner].invalidate_block(txn.block)
             line.owner = req  # stays dirty
+            # ownership grant: req's earlier writebacks (if any are still
+            # in flight) predate this grant and must never match
+            self._cancel_inflight_writeback(txn.block, req)
             machine.count_msg(MsgClass.REQUEST, home, owner)  # forward
             machine.count_msg(MsgClass.REPLY, owner, req)  # data+ownership
             machine.count_msg(MsgClass.REQUEST, owner, home)  # transfer notice
@@ -395,6 +416,16 @@ class DirectoryController:
             # the entry holds no sharers of this block while dirty; any
             # pooled group-mate sharers it holds fall through to the
             # normal target collection below (conservative)
+        else:
+            # The requester can still have an *obsolete* writeback in
+            # flight even though the line is clean: it evicted its dirty
+            # copy, then a forwarded read consumed the writeback-buffer
+            # ghost and cleaned the line.  Re-dirtying the line for the
+            # same owner below would make that stale writeback match on
+            # arrival and wrongly clean the directory (found by the
+            # repro.verify model checker under message reordering), so
+            # obsolete it now.
+            self._cancel_inflight_writeback(txn.block, req)
 
         # Clean/shared (the paper's "invalidation event"): collect targets,
         # invalidate them, count invals and the acks the requester awaits.
@@ -489,19 +520,31 @@ class DirectoryController:
     def _cancel_inflight_writeback(self, block: int, cluster: int) -> None:
         """Mark the cluster's pending writeback for this block obsolete.
 
+        Called at every point the directory (re-)grants ownership of
+        ``block`` to ``cluster``: any writeback the cluster issued *before*
+        this grant belongs to a dead generation of the line and must never
+        be accepted — under message reordering it could otherwise arrive
+        after the grant, match ``dirty and owner == cluster``, and wrongly
+        clean the directory (found by the repro.verify model checker).
+
         Also clears the writeback-buffer ghost now: the directory has
         logically absorbed the data, and the block is busy until this
         transaction completes, so no forward can need the ghost meanwhile.
         """
-        if self.machine.clusters[cluster].holds_dirty(block):
-            key = (block, cluster)
+        key = (block, cluster)
+        if self._cancelled_wb.get(key, 0) < self._wb_inflight.get(key, 0):
             self._cancelled_wb[key] = self._cancelled_wb.get(key, 0) + 1
-            self.machine.clusters[cluster].writeback_done(block)
+        self.machine.clusters[cluster].writeback_done(block)
 
     def _execute_writeback(self, txn: Transaction) -> float:
         cfg = self.machine.config
         req = txn.requester
         key = (txn.block, req)
+        remaining = self._wb_inflight.get(key, 0) - 1
+        if remaining > 0:
+            self._wb_inflight[key] = remaining
+        else:
+            self._wb_inflight.pop(key, None)
         pending_cancels = self._cancelled_wb.get(key, 0)
         if pending_cancels:
             # Obsoleted by a later ownership re-grant: drop silently.

@@ -1,0 +1,179 @@
+"""``python -m repro.verify``: model-check and lint from the command line.
+
+Subcommands::
+
+    python -m repro.verify check --scheme Dir1CV2 -n 4
+    python -m repro.verify check --scheme full -n 3 --sparse-ways 1 --lines 2
+    python -m repro.verify lint src/repro
+    python -m repro.verify lint --list-rules
+
+``check`` exits 0 only when the bounded state space was exhausted with no
+violation; a violation prints the minimal counterexample trace.  ``lint``
+exits 0 when no findings survive inline suppressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.core.registry import make_scheme
+from repro.verify.explorer import explore
+from repro.verify.lint import LINT_RULES, run_lint
+from repro.verify.model import ModelConfig
+
+
+def _config_for(args: argparse.Namespace, name: str) -> ModelConfig:
+    return ModelConfig(
+        scheme=make_scheme(name, args.nodes, seed=args.seed),
+        num_nodes=args.nodes,
+        blocks=tuple(range(args.lines)),
+        max_inflight=args.inflight,
+        sparse_ways=args.sparse_ways,
+        include_drop=not args.no_drop,
+        symmetry=not args.no_symmetry,
+        max_states=args.max_states,
+    )
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Exhaustively explore the bounded state space of each scheme.
+
+    ``--scheme`` accepts a comma-separated list; with several schemes the
+    per-scheme results are printed as one summary table (plus the first
+    counterexample, if any).
+    """
+    names = [n for n in args.scheme.split(",") if n.strip()]
+    if not names:
+        print("error: --scheme needs at least one scheme name",
+              file=sys.stderr)
+        return 2
+    try:
+        if len(names) > 1:
+            return _check_many(args, names)
+        cfg = _config_for(args, names[0])
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = explore(cfg)
+    store = "full map" if args.sparse_ways is None else (
+        f"sparse 1x{args.sparse_ways}"
+    )
+    print(
+        f"{result.scheme} on {result.num_nodes} nodes, "
+        f"{len(cfg.blocks)} line(s), {store}, "
+        f"<= {cfg.max_inflight} in-flight"
+    )
+    print(
+        f"states: {result.states:,}  transitions: {result.transitions:,}  "
+        f"max depth: {result.max_depth}  merged: {result.merged:,}"
+    )
+    if result.violation is not None:
+        print("counterexample (minimal):")
+        print(result.violation.format())
+        return 1
+    if result.truncated:
+        print(
+            f"state bound hit ({cfg.max_states:,}): exploration incomplete — "
+            f"raise --max-states or shrink the config", file=sys.stderr,
+        )
+        return 2
+    print("ok: every reachable state satisfies the coherence invariants")
+    return 0
+
+
+def _check_many(args: argparse.Namespace, names: Sequence[str]) -> int:
+    from repro.analysis.report import format_verification_report
+
+    results = [explore(_config_for(args, name)) for name in names]
+    print(format_verification_report(results))
+    for result in results:
+        if result.violation is not None:
+            print(f"\ncounterexample for {result.scheme} (minimal):")
+            print(result.violation.format())
+            return 1
+    if any(r.truncated for r in results):
+        print(
+            f"state bound hit ({args.max_states:,}): exploration incomplete — "
+            f"raise --max-states or shrink the config", file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the AST rules over the given files/directories."""
+    if args.list_rules:
+        for name, description in LINT_RULES.items():
+            print(f"{name:22s} {description}")
+        return 0
+    paths = args.paths
+    if not paths:
+        # default: the installed repro package sources
+        import repro
+
+        paths = [str(Path(repro.__file__).parent)]
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        # a typo'd path must not read as a clean lint run (e.g. in CI)
+        for p in missing:
+            print(f"error: no such file or directory: {p}", file=sys.stderr)
+        return 2
+    findings = run_lint(paths)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("lint clean")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Argument parser for the ``check`` and ``lint`` subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro.verify",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="model-check one scheme's state space")
+    p.add_argument("--scheme", default="full",
+                   help="scheme name (registry); comma-separate several "
+                        "for a summary table")
+    p.add_argument("-n", "--nodes", type=int, default=3,
+                   help="number of nodes (keep <= 5)")
+    p.add_argument("--lines", type=int, default=1, choices=(1, 2),
+                   help="modeled memory blocks")
+    p.add_argument("--inflight", type=int, default=2,
+                   help="max concurrent in-flight messages")
+    p.add_argument("--sparse-ways", type=int, default=None, metavar="W",
+                   help="model a 1-set, W-way sparse directory per home")
+    p.add_argument("--no-drop", action="store_true",
+                   help="disable silent clean-copy drops (smaller space)")
+    p.add_argument("--no-symmetry", action="store_true",
+                   help="disable symmetry reduction (debugging)")
+    p.add_argument("--max-states", type=int, default=250_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("lint", help="AST lint over simulator sources")
+    p.add_argument("paths", nargs="*", help="files/dirs (default: repro pkg)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.set_defaults(func=cmd_lint)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the selected subcommand and return its exit status."""
+    args = build_parser().parse_args(argv)
+    return int(args.func(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

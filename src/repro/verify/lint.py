@@ -1,0 +1,520 @@
+"""Simulator-specific AST lint rules the type checker cannot express.
+
+Rules (see ``docs/verification.md`` for the full rationale):
+
+``enum-dispatch``
+    Dict literals keyed by two or more members of a protocol enum
+    (``MsgClass``, ``FaultKind``, ``InvalCause``, ``LineState``) and
+    ``if/elif`` chains comparing against them must cover every member —
+    a silently unhandled message class is how protocols rot.
+``unseeded-random``
+    ``machine/`` and ``core/`` must not call the module-level ``random``
+    functions, wall-clock ``time`` sources, ``uuid``, ``secrets``, or
+    ``os.urandom``: simulations must be deterministic per seed.
+    Constructing a seeded ``random.Random(...)`` is allowed.
+``unordered-iteration``
+    ``machine/`` and ``core/`` must not iterate directly over set
+    displays, ``set()``/``frozenset()`` calls, or the (frozen-set
+    valued) ``invalidation_targets()`` — Python set iteration order
+    varies across runs for non-int elements and hides ordering bugs
+    either way.  Wrap in ``sorted(...)``.
+``unregistered-scheme``
+    Every concrete ``DirectoryScheme`` subclass defined under ``core/``
+    must be referenced by ``core/registry.py`` so name-based lookup
+    (CLI, benchmarks, docs) can reach it.
+``undeclared-stat``
+    ``stats.X += ...`` requires ``X`` to be declared on ``SimStats`` or
+    ``ProcessorStats`` — incrementing an undeclared counter would create
+    it on the fly on one code path and crash or silently read 0 on
+    another.
+
+Suppress a finding inline with ``# lint: ignore[rule-name]`` (or a bare
+``# lint: ignore`` for all rules) on the offending line.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+#: rule name -> one-line description (the catalog, also used by the CLI)
+LINT_RULES: Dict[str, str] = {
+    "enum-dispatch": "enum-keyed dispatch must cover every member",
+    "unseeded-random": "no unseeded randomness or wall-clock time in "
+    "machine/ and core/",
+    "unordered-iteration": "no direct iteration over sets or "
+    "invalidation_targets(); sort first",
+    "unregistered-scheme": "every concrete DirectoryScheme must appear in "
+    "core/registry.py",
+    "undeclared-stat": "stats counters must be declared before incremented",
+}
+
+#: enums whose dispatch must be exhaustive, with their member names
+_DISPATCH_ENUMS: Dict[str, FrozenSet[str]] = {
+    "MsgClass": frozenset(
+        {"REQUEST", "REPLY", "INVALIDATION", "ACKNOWLEDGEMENT"}
+    ),
+    "FaultKind": frozenset({"DROP", "DUPLICATE", "DELAY", "NAK", "CORRUPT"}),
+    "InvalCause": frozenset({"WRITE", "NB_EVICT", "SPARSE_REPL"}),
+    "LineState": frozenset({"SHARED", "DIRTY"}),
+}
+
+_BANNED_TIME = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+_ALLOWED_RANDOM = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+_BANNED_UUID = frozenset({"uuid1", "uuid4"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: [rule] message`` — the compiler-style form."""
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class _Module:
+    path: Path
+    rel: str
+    tree: ast.Module
+    source_lines: List[str]
+
+    def determinism_scoped(self) -> bool:
+        """Rules about nondeterminism apply to machine/ and core/ only."""
+        parts = Path(self.rel).parts
+        return "machine" in parts or "core" in parts
+
+
+def _suppressed(module: _Module, lineno: int, rule: str) -> bool:
+    if 1 <= lineno <= len(module.source_lines):
+        text = module.source_lines[lineno - 1]
+        marker = text.rfind("# lint: ignore")
+        if marker == -1:
+            return False
+        spec = text[marker + len("# lint: ignore"):].strip()
+        if not spec.startswith("["):
+            return True  # bare ignore: all rules
+        names = spec[1:spec.find("]")] if "]" in spec else spec[1:]
+        return rule in {n.strip() for n in names.split(",")}
+    return False
+
+
+# -- rule: enum-dispatch ----------------------------------------------------
+
+
+def _enum_member(node: ast.expr) -> Optional[Tuple[str, str]]:
+    """``MsgClass.REQUEST`` -> ("MsgClass", "REQUEST")."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in _DISPATCH_ENUMS
+        and node.attr in _DISPATCH_ENUMS[node.value.id]
+    ):
+        return node.value.id, node.attr
+    return None
+
+
+def _check_enum_dispatch(module: _Module) -> Iterator[Finding]:
+    elif_bodies = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.If) and len(node.orelse) == 1 and isinstance(
+            node.orelse[0], ast.If
+        ):
+            elif_bodies.add(id(node.orelse[0]))
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Dict):
+            yield from _check_enum_dict(module, node)
+        elif isinstance(node, ast.If) and id(node) not in elif_bodies:
+            yield from _check_enum_chain(module, node)
+
+
+def _check_enum_dict(module: _Module, node: ast.Dict) -> Iterator[Finding]:
+    seen: Dict[str, Set[str]] = {}
+    for key in node.keys:
+        if key is None:  # dict unpacking
+            return
+        member = _enum_member(key)
+        if member is None:
+            return
+        seen.setdefault(member[0], set()).add(member[1])
+    if len(seen) != 1:
+        return
+    enum_name, members = next(iter(seen.items()))
+    if len(members) < 2:
+        return
+    missing = _DISPATCH_ENUMS[enum_name] - members
+    if missing:
+        yield Finding(
+            str(module.path),
+            node.lineno,
+            node.col_offset,
+            "enum-dispatch",
+            f"dict keyed by {enum_name} misses "
+            f"{', '.join(sorted(missing))}",
+        )
+
+
+def _check_enum_chain(module: _Module, node: ast.If) -> Iterator[Finding]:
+    """``if x == E.A: ... elif x == E.B: ...`` with no else must cover E."""
+    seen: Dict[str, Set[str]] = {}
+    cursor: ast.stmt = node
+    first_line = node.lineno
+    while True:
+        assert isinstance(cursor, ast.If)
+        test = cursor.test
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], (ast.Eq, ast.Is))
+            and len(test.comparators) == 1
+        ):
+            return
+        member = _enum_member(test.comparators[0]) or _enum_member(test.left)
+        if member is None:
+            return
+        seen.setdefault(member[0], set()).add(member[1])
+        if len(cursor.orelse) == 1 and isinstance(cursor.orelse[0], ast.If):
+            cursor = cursor.orelse[0]
+            continue
+        has_else = bool(cursor.orelse)
+        break
+    if has_else or len(seen) != 1:
+        return
+    enum_name, members = next(iter(seen.items()))
+    if len(members) < 2:
+        return
+    missing = _DISPATCH_ENUMS[enum_name] - members
+    if missing:
+        yield Finding(
+            str(module.path),
+            first_line,
+            node.col_offset,
+            "enum-dispatch",
+            f"if/elif chain over {enum_name} misses "
+            f"{', '.join(sorted(missing))} and has no else",
+        )
+
+
+# -- rule: unseeded-random --------------------------------------------------
+
+
+def _check_unseeded_random(module: _Module) -> Iterator[Finding]:
+    if not module.determinism_scoped():
+        return
+    module_aliases: Dict[str, str] = {}
+    banned_names: Dict[str, str] = {}
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in ("random", "time", "uuid", "secrets", "os"):
+                    module_aliases[alias.asname or alias.name] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "random":
+                for alias in node.names:
+                    if alias.name not in _ALLOWED_RANDOM:
+                        banned_names[alias.asname or alias.name] = (
+                            f"random.{alias.name}"
+                        )
+            elif node.module == "time":
+                for alias in node.names:
+                    if alias.name in _BANNED_TIME:
+                        banned_names[alias.asname or alias.name] = (
+                            f"time.{alias.name}"
+                        )
+            elif node.module in ("uuid", "secrets"):
+                for alias in node.names:
+                    banned_names[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        origin: Optional[str] = None
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            mod = module_aliases.get(func.value.id)
+            if mod == "random" and func.attr not in _ALLOWED_RANDOM:
+                origin = f"random.{func.attr}"
+            elif mod == "time" and func.attr in _BANNED_TIME:
+                origin = f"time.{func.attr}"
+            elif mod == "uuid" and func.attr in _BANNED_UUID:
+                origin = f"uuid.{func.attr}"
+            elif mod == "secrets":
+                origin = f"secrets.{func.attr}"
+            elif mod == "os" and func.attr == "urandom":
+                origin = "os.urandom"
+        elif isinstance(func, ast.Name) and func.id in banned_names:
+            origin = banned_names[func.id]
+        if origin is not None and not _suppressed(
+            module, node.lineno, "unseeded-random"
+        ):
+            yield Finding(
+                str(module.path),
+                node.lineno,
+                node.col_offset,
+                "unseeded-random",
+                f"call to {origin} is nondeterministic; draw from a seeded "
+                f"random.Random instance instead",
+            )
+
+
+# -- rule: unordered-iteration ----------------------------------------------
+
+
+def _unordered_reason(node: ast.expr) -> Optional[str]:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set display"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"{func.id}(...)"
+        if isinstance(func, ast.Attribute) and func.attr == "invalidation_targets":
+            return "invalidation_targets() (a frozenset)"
+        if (
+            isinstance(func, ast.Name)
+            and func.id in ("list", "tuple")
+            and len(node.args) == 1
+        ):
+            inner = _unordered_reason(node.args[0])
+            if inner is not None:
+                return f"{func.id}() of {inner}"
+    return None
+
+
+def _check_unordered_iteration(module: _Module) -> Iterator[Finding]:
+    if not module.determinism_scoped():
+        return
+    sources: List[Tuple[int, int, ast.expr]] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.For):
+            sources.append((node.lineno, node.col_offset, node.iter))
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                               ast.DictComp)):
+            for gen in node.generators:
+                sources.append(
+                    (gen.iter.lineno, gen.iter.col_offset, gen.iter)
+                )
+    for lineno, col, iter_node in sources:
+        reason = _unordered_reason(iter_node)
+        if reason is not None and not _suppressed(
+            module, lineno, "unordered-iteration"
+        ):
+            yield Finding(
+                str(module.path),
+                lineno,
+                col,
+                "unordered-iteration",
+                f"iterating over {reason} has no deterministic order; "
+                f"wrap in sorted(...)",
+            )
+
+
+# -- rule: unregistered-scheme ----------------------------------------------
+
+
+def _scheme_findings(modules: List[_Module]) -> Iterator[Finding]:
+    registry: Optional[_Module] = None
+    class_sites: Dict[str, Tuple[_Module, int, int, List[str]]] = {}
+    for module in modules:
+        parts = Path(module.rel).parts
+        if "core" not in parts:
+            continue
+        if Path(module.rel).name == "registry.py":
+            registry = module
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                bases = [
+                    b.id if isinstance(b, ast.Name) else
+                    b.attr if isinstance(b, ast.Attribute) else ""
+                    for b in node.bases
+                ]
+                class_sites[node.name] = (
+                    module, node.lineno, node.col_offset, bases
+                )
+    if registry is None:
+        return  # nothing to check against (partial lint run)
+    # transitively collect DirectoryScheme descendants among core classes
+    schemes: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, (_m, _l, _c, bases) in class_sites.items():
+            if name in schemes:
+                continue
+            if "DirectoryScheme" in bases or any(b in schemes for b in bases):
+                schemes.add(name)
+                changed = True
+    referenced = {
+        node.id
+        for node in ast.walk(registry.tree)
+        if isinstance(node, ast.Name)
+    }
+    for name in sorted(schemes):
+        module, lineno, col, _bases = class_sites[name]
+        if name.startswith("_"):
+            continue  # private helper base, not a user-facing scheme
+        if name not in referenced and not _suppressed(
+            module, lineno, "unregistered-scheme"
+        ):
+            yield Finding(
+                str(module.path),
+                lineno,
+                col,
+                "unregistered-scheme",
+                f"{name} subclasses DirectoryScheme but core/registry.py "
+                f"never references it; add an alias or pattern",
+            )
+
+
+# -- rule: undeclared-stat --------------------------------------------------
+
+
+def _declared_stats(modules: List[_Module]) -> Optional[FrozenSet[str]]:
+    stats_module = next(
+        (m for m in modules if Path(m.rel).name == "stats.py"
+         and "machine" in Path(m.rel).parts),
+        None,
+    )
+    if stats_module is None:
+        return None
+    declared: Set[str] = set()
+    for node in ast.walk(stats_module.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if node.name not in ("SimStats", "ProcessorStats"):
+            continue
+        for item in ast.walk(node):
+            # self.x = ... inside methods (SimStats.__init__)
+            if isinstance(item, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    item.targets
+                    if isinstance(item, ast.Assign)
+                    else [item.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        declared.add(target.attr)
+                    elif isinstance(target, ast.Name) and isinstance(
+                        item, ast.AnnAssign
+                    ):
+                        declared.add(target.id)  # dataclass field
+            elif isinstance(item, ast.FunctionDef):
+                declared.add(item.name)  # properties / helper methods
+    return frozenset(declared)
+
+
+def _check_undeclared_stat(
+    module: _Module, declared: FrozenSet[str]
+) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.AugAssign):
+            continue
+        target = node.target
+        if not isinstance(target, ast.Attribute):
+            continue
+        base = target.value
+        is_stats = (isinstance(base, ast.Attribute) and base.attr == "stats") or (
+            isinstance(base, ast.Name) and base.id == "stats"
+        )
+        if not is_stats:
+            continue
+        if target.attr not in declared and not _suppressed(
+            module, node.lineno, "undeclared-stat"
+        ):
+            yield Finding(
+                str(module.path),
+                node.lineno,
+                node.col_offset,
+                "undeclared-stat",
+                f"stats.{target.attr} is incremented but not declared on "
+                f"SimStats/ProcessorStats",
+            )
+
+
+# -- driver -----------------------------------------------------------------
+
+
+def _collect_files(paths: Iterable[str]) -> List[Tuple[Path, Path]]:
+    """``(root, file)`` pairs; ``file`` is scoped relative to its ``root``.
+
+    The root is the directory argument the file was found under (or the
+    file's parent for file arguments), so path-scoped rules see
+    ``machine/...`` / ``core/...`` prefixes regardless of how the lint
+    run was invoked.
+    """
+    files: List[Tuple[Path, Path]] = []
+    seen: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                if file not in seen:
+                    seen.add(file)
+                    files.append((path, file))
+        elif path.suffix == ".py" and path not in seen:
+            seen.add(path)
+            files.append((path.parent, path))
+    return files
+
+
+def _load(files: List[Tuple[Path, Path]]) -> Tuple[List[_Module], List[Finding]]:
+    modules: List[_Module] = []
+    errors: List[Finding] = []
+    for root, file in files:
+        try:
+            source = file.read_text()
+            tree = ast.parse(source, filename=str(file))
+        except (OSError, SyntaxError) as exc:
+            errors.append(
+                Finding(str(file), getattr(exc, "lineno", 0) or 0, 0,
+                        "parse-error", str(exc))
+            )
+            continue
+        try:
+            rel = os.path.join(root.name, str(file.relative_to(root)))
+        except ValueError:  # pragma: no cover - absolute/relative mix
+            rel = str(file)
+        modules.append(_Module(file, rel, tree, source.splitlines()))
+    return modules, errors
+
+
+def run_lint(paths: Iterable[str]) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; returns sorted findings."""
+    modules, findings = _load(_collect_files(paths))
+    declared = _declared_stats(modules)
+    for module in modules:
+        for finding in _check_enum_dispatch(module):
+            if not _suppressed(module, finding.line, finding.rule):
+                findings.append(finding)
+        findings.extend(_check_unseeded_random(module))
+        findings.extend(_check_unordered_iteration(module))
+        if declared is not None:
+            findings.extend(_check_undeclared_stat(module, declared))
+    findings.extend(_scheme_findings(modules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

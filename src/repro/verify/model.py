@@ -1,0 +1,630 @@
+"""Guarded-transition abstraction of the DASH directory protocol.
+
+The simulator (:mod:`repro.machine.directory`) applies every directory
+state effect **atomically at service time** — a block is busy from
+service to completion and later arrivals queue.  That discipline is what
+makes a small-model abstraction sound: a reachable protocol state is
+fully described by
+
+* each node's cache state per modeled line — ``I`` / ``S`` / ``M``
+  (the writeback-buffer "ghost" of an evicted dirty line is represented
+  by the in-flight writeback message itself),
+* the multiset of in-flight messages — issued ``read`` / ``write``
+  requests and ``wb`` writebacks that have not yet been serviced,
+* the **real** directory store (:class:`~repro.core.sparse.FullMapDirectory`
+  or :class:`~repro.core.sparse.SparseDirectory`) holding **real**
+  :class:`~repro.core.base.DirectoryEntry` objects, so the checker
+  exercises the same pointer-overflow / coarse-vector / forced-eviction /
+  wide-store code the simulator runs.
+
+Actions (one atomic step each):
+
+``("read", p, l)`` / ``("write", p, l)``
+    node ``p`` issues a miss for line ``l`` (guarded: at most one
+    outstanding request per node, bounded total in-flight messages);
+``("evict", p, l)``
+    ``p`` evicts its dirty copy — the copy leaves the cache and a ``wb``
+    message starts travelling home;
+``("drop", p, l)``
+    ``p`` silently drops a clean copy (no message, like the simulator
+    without replacement hints);
+``("deliver", kind, l, p)``
+    the home services one in-flight message, mirroring
+    ``DirectoryController._execute_read/_execute_write/_execute_writeback``
+    exactly — including writeback cancellation on re-read/re-write and
+    stale-writeback drops.
+
+Timing, NAK-retries, and fault injection are deliberately outside the
+model: they affect *when* transitions happen, not *which* directory state
+transitions exist, and delivery order is explored exhaustively anyway.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.base import DirectoryScheme
+from repro.core.sparse import (
+    DirectoryStore,
+    DirLine,
+    Eviction,
+    FullMapDirectory,
+    SparseDirectory,
+)
+from repro.trace.event import Read, TraceOp, Work, Write
+from repro.trace.scripted import ScriptedWorkload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.config import MachineConfig
+
+INVALID = "I"
+SHARED = "S"
+MODIFIED = "M"
+
+MSG_READ = "read"
+MSG_WRITE = "write"
+MSG_WB = "wb"
+
+#: an in-flight message: (kind, line index, issuing node)
+Message = Tuple[str, int, int]
+#: one atomic step: ("read"|"write"|"evict"|"drop", node, line) or
+#: ("deliver", kind, line, node)
+Action = Tuple[object, ...]
+
+#: cycles of ``Work`` padding per global step during counterexample
+#: replay — large enough that each replayed transaction fully completes
+#: (worst case is a broadcast invalidation round, a few hundred cycles)
+#: before the next processor issues.
+REPLAY_GAP = 5_000
+
+#: replayed machines use tiny direct-mapped caches of this many blocks so
+#: an ``evict``/``drop`` action can be forced with one conflicting read.
+REPLAY_CACHE_BLOCKS = 8
+
+
+@dataclass(frozen=True)
+class ModelViolation:
+    """One invariant breach in a model state or during a delivery."""
+
+    invariant: str
+    message: str
+
+
+@dataclass
+class ModelConfig:
+    """Bounds and scheme for one exploration.
+
+    ``blocks`` are real block addresses; ``home(b) = b % num_nodes`` as in
+    the simulator.  With ``sparse_ways`` set, the home directory is a
+    1-set :class:`SparseDirectory` with that many ways and *random*
+    replacement — the LRU/LRA policies carry an unbounded tick counter
+    that would make the state space infinite, and with the policy RNG
+    re-seeded before every action "random" is a pure function of the
+    layout, so states merge soundly.
+    """
+
+    scheme: DirectoryScheme
+    num_nodes: int
+    blocks: Tuple[int, ...] = (0,)
+    max_inflight: int = 2
+    sparse_ways: Optional[int] = None
+    include_drop: bool = True
+    symmetry: bool = True
+    max_states: int = 250_000
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.scheme.num_nodes != self.num_nodes:
+            raise ValueError(
+                f"scheme tracks {self.scheme.num_nodes} nodes but the model "
+                f"has {self.num_nodes}"
+            )
+        if not self.blocks:
+            raise ValueError("need at least one modeled block")
+        if len(set(self.blocks)) != len(self.blocks):
+            raise ValueError("modeled blocks must be distinct")
+        if len(set(b % REPLAY_CACHE_BLOCKS for b in self.blocks)) != len(
+            self.blocks
+        ):
+            # replay forces evictions via conflicting reads; two modeled
+            # blocks in one cache set would evict each other
+            raise ValueError(
+                f"modeled blocks must fall in distinct cache sets "
+                f"(distinct mod {REPLAY_CACHE_BLOCKS}) for replayability"
+            )
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.sparse_ways is not None and self.sparse_ways < 1:
+            raise ValueError("sparse_ways must be >= 1")
+
+    def home(self, line: int) -> int:
+        """Home node of modeled line ``line`` (block % N, as in DashSystem)."""
+        return self.blocks[line] % self.num_nodes
+
+
+class ModelState:
+    """One reachable protocol state (mutable; explorer clones before apply)."""
+
+    __slots__ = ("caches", "msgs", "stores")
+
+    def __init__(
+        self,
+        caches: List[List[str]],
+        msgs: List[Message],
+        stores: List[DirectoryStore],
+    ) -> None:
+        self.caches = caches
+        #: in-flight messages, unordered (the network may reorder freely)
+        self.msgs = msgs
+        #: one directory store per node, as in the real machine (relevant
+        #: for sparse configs, where each home has its own sets/ways)
+        self.stores = stores
+
+    def clone(self) -> "ModelState":
+        """Deep copy, sharing (never copying) the pinned RNG objects.
+
+        ``_reseed`` pins every RNG before each action, so RNG internals
+        never carry information between states; sharing them avoids
+        deep-copying their Mersenne state on every transition.
+        """
+        memo: Dict[int, object] = {}
+        rng = getattr(self.stores[0].scheme, "rng", None)
+        if rng is not None:
+            memo[id(rng)] = rng
+        for store in self.stores:
+            policy = getattr(store, "policy", None)
+            if policy is not None:
+                memo[id(policy.rng)] = policy.rng
+        return copy.deepcopy(self, memo)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ModelState caches={self.caches} msgs={self.msgs}>"
+
+
+def initial_state(cfg: ModelConfig) -> ModelState:
+    """All caches invalid, no messages, empty directories."""
+    caches = [[INVALID] * len(cfg.blocks) for _ in range(cfg.num_nodes)]
+    scheme = copy.deepcopy(cfg.scheme)
+    stores: List[DirectoryStore] = []
+    for node in range(cfg.num_nodes):
+        if cfg.sparse_ways is None:
+            stores.append(FullMapDirectory(scheme))
+        else:
+            stores.append(
+                SparseDirectory(
+                    scheme,
+                    cfg.sparse_ways,
+                    cfg.sparse_ways,
+                    policy="random",
+                    stride=cfg.num_nodes,
+                    offset=node,
+                )
+            )
+    return ModelState(caches, [], stores)
+
+
+def _reseed(state: ModelState) -> None:
+    """Pin every RNG before an action so identical states act identically.
+
+    The scheme RNG (Dir_iNB victim choice) and any sparse replacement
+    policy RNG are shared mutable objects; without re-seeding, two runs
+    reaching the *same* canonical state could diverge, which would make
+    merging states in the explorer unsound.
+    """
+    state.stores[0].scheme.rng.seed(0)
+    for store in state.stores:
+        policy = getattr(store, "policy", None)
+        if policy is not None:
+            policy.rng.seed(0)
+
+
+def enabled_actions(state: ModelState, cfg: ModelConfig) -> List[Action]:
+    """All actions whose guards hold in ``state``."""
+    actions: List[Action] = []
+    room = len(state.msgs) < cfg.max_inflight
+    for p in range(cfg.num_nodes):
+        outstanding = any(
+            kind in (MSG_READ, MSG_WRITE) and node == p
+            for kind, _line, node in state.msgs
+        )
+        for l in range(len(cfg.blocks)):
+            st = state.caches[p][l]
+            if st == INVALID:
+                if room and not outstanding:
+                    actions.append(("read", p, l))
+                    actions.append(("write", p, l))
+            elif st == SHARED:
+                if room and not outstanding:
+                    actions.append(("write", p, l))
+                if cfg.include_drop:
+                    actions.append(("drop", p, l))
+            elif st == MODIFIED and room:
+                actions.append(("evict", p, l))
+    for msg in sorted(set(state.msgs)):
+        actions.append(("deliver",) + msg)
+    return actions
+
+
+def apply_action(
+    state: ModelState, action: Action, cfg: ModelConfig
+) -> Tuple[ModelState, List[ModelViolation]]:
+    """Successor state plus any violations raised *during* the transition."""
+    ns = state.clone()
+    _reseed(ns)
+    kind = action[0]
+    violations: List[ModelViolation] = []
+    if kind == "read":
+        _, p, l = action
+        ns.msgs.append((MSG_READ, l, p))
+    elif kind == "write":
+        _, p, l = action
+        ns.msgs.append((MSG_WRITE, l, p))
+    elif kind == "evict":
+        _, p, l = action
+        ns.caches[p][l] = INVALID
+        ns.msgs.append((MSG_WB, l, p))
+    elif kind == "drop":
+        _, p, l = action
+        ns.caches[p][l] = INVALID
+    elif kind == "deliver":
+        _, mkind, l, node = action
+        ns.msgs.remove((mkind, l, node))
+        violations = _deliver(ns, cfg, str(mkind), int(l), int(node))
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown model action {action!r}")
+    return ns, violations
+
+
+# -- delivery: the mirror of DirectoryController._execute_* ----------------
+
+
+def _deliver(
+    ns: ModelState, cfg: ModelConfig, kind: str, l: int, node: int
+) -> List[ModelViolation]:
+    block = cfg.blocks[l]
+    home = cfg.home(l)
+    store = ns.stores[home]
+    violations: List[ModelViolation] = []
+
+    if kind == MSG_WB:
+        # DirectoryController._execute_writeback: accept iff still the
+        # recorded dirty owner; otherwise the writeback is stale (ownership
+        # moved on, or a sparse replacement recalled the line) and drops.
+        line = store.lookup(block)
+        if line is not None and line.dirty and line.owner == node:
+            line.dirty = False
+            line.owner = None
+            if ns.caches[node][l] != INVALID:
+                # copies_besides_wb analogue: the evicting node re-fetched
+                # the block while its writeback was in flight
+                line.entry.record_sharer(node)
+            else:
+                store.release(block)
+        return violations
+
+    # READ / WRITE requests allocate (sparse replacement may recall a
+    # victim block first).  Deliveries are atomic, so nothing is busy and
+    # AllWaysBusy is unreachable (avoid=frozenset()).
+    line, evictions = store.get_or_allocate(block)
+    violations.extend(_apply_sparse_evictions(ns, cfg, evictions))
+
+    req = node
+    if kind == MSG_READ:
+        if line.dirty and line.owner is not None and line.owner != req:
+            # forward to the owner: downgrade (or serve from the writeback
+            # ghost, in which case the owner's cache is already INVALID and
+            # its in-flight wb message is the ghost), record owner + req
+            owner = line.owner
+            if ns.caches[owner][l] == MODIFIED:
+                ns.caches[owner][l] = SHARED
+            line.dirty = False
+            line.owner = None
+            _record_sharer(ns, cfg, line, owner, l)
+            _record_sharer(ns, cfg, line, req, l)
+        else:
+            if line.dirty and line.owner == req:
+                # re-read while own writeback is in flight: cancel it
+                _cancel_writeback(ns, l, req)
+                line.dirty = False
+                line.owner = None
+            _record_sharer(ns, cfg, line, req, l)
+        ns.caches[req][l] = SHARED
+        return violations
+
+    # WRITE
+    if line.dirty and line.owner is not None and line.owner != req:
+        # ownership transfer: the old owner's copy dies, dirty stays set;
+        # any writeback req issued before this grant is obsolete (mirror
+        # of the engine's grant-time cancellation)
+        owner = line.owner
+        ns.caches[owner][l] = INVALID
+        line.owner = req
+        _cancel_writeback(ns, l, req)
+        ns.caches[req][l] = MODIFIED
+        return violations
+    if line.dirty and line.owner == req:
+        # re-granting ownership while the requester's writeback is in
+        # flight: the writeback is obsolete
+        _cancel_writeback(ns, l, req)
+        line.dirty = False
+        line.owner = None
+    else:
+        # mirror of the engine's stale-writeback fix: a clean line can
+        # still have the requester's obsolete writeback in flight (ghost
+        # consumed by a forwarded read); re-dirtying for the same owner
+        # must not let it match later
+        _cancel_writeback(ns, l, req)
+    targets = sorted(line.entry.invalidation_targets(exclude=(req,)))
+    # inval/ack conservation: every *live* copy other than the writer must
+    # receive an invalidation (and answer with exactly one ack) — checked
+    # here, at the one point the controller collects targets
+    missed = [
+        q
+        for q in range(cfg.num_nodes)
+        if q != req and ns.caches[q][l] != INVALID and q not in targets
+    ]
+    if missed:
+        violations.append(
+            ModelViolation(
+                "inval-ack-conservation",
+                f"write by node {req} on block {block}: live copies at "
+                f"{missed} got no invalidation (targets={targets})",
+            )
+        )
+    for t in targets:
+        ns.caches[t][l] = INVALID
+    line.entry.reset()
+    line.dirty = True
+    line.owner = req
+    ns.caches[req][l] = MODIFIED
+    return violations
+
+
+def _record_sharer(
+    ns: ModelState, cfg: ModelConfig, line: "DirLine", node: int, l: int
+) -> None:
+    """Mirror of ``DirectoryController._record_sharer`` (Dir_iNB evictions)."""
+    victims = line.entry.record_sharer(node)
+    for victim in victims:
+        ns.caches[victim][l] = INVALID
+
+
+def _cancel_writeback(ns: ModelState, l: int, node: int) -> None:
+    """Drop ``node``'s in-flight writeback of line ``l`` (obsoleted)."""
+    try:
+        ns.msgs.remove((MSG_WB, l, node))
+    except ValueError:  # pragma: no cover - model-internal consistency
+        pass
+
+
+def _apply_sparse_evictions(
+    ns: ModelState, cfg: ModelConfig, evictions: Sequence[Eviction]
+) -> List[ModelViolation]:
+    """Mirror of ``_process_sparse_evictions``: recall every covered copy."""
+    violations: List[ModelViolation] = []
+    for ev in evictions:
+        if ev.block not in cfg.blocks:  # pragma: no cover - defensive
+            continue
+        l = cfg.blocks.index(ev.block)
+        live = [
+            q
+            for q in range(cfg.num_nodes)
+            if ns.caches[q][l] != INVALID and q not in ev.targets
+        ]
+        if live:
+            violations.append(
+                ModelViolation(
+                    "directory-coverage",
+                    f"sparse replacement of block {ev.block} recalled "
+                    f"targets {sorted(ev.targets)} but copies live at {live}",
+                )
+            )
+        for t in ev.targets:
+            ns.caches[t][l] = INVALID
+    return violations
+
+
+# -- per-state invariants ---------------------------------------------------
+
+
+def state_violations(
+    state: ModelState, cfg: ModelConfig
+) -> List[ModelViolation]:
+    """The PR 1 invariant predicates, evaluated on one model state.
+
+    Mirrors :func:`repro.machine.invariants.machine_state_violations`:
+    single-writer, directory coverage, and the precision contract — plus
+    the dirty-owner rule phrased over in-flight writebacks (the model's
+    stand-in for the writeback buffer).
+    """
+    out: List[ModelViolation] = []
+    exact_scheme = state.stores[0].scheme.precision == "exact"
+    for l, block in enumerate(cfg.blocks):
+        home = cfg.home(l)
+        line = dict(state.stores[home].lines()).get(block)
+        modified = [
+            p for p in range(cfg.num_nodes) if state.caches[p][l] == MODIFIED
+        ]
+        shared = [
+            p for p in range(cfg.num_nodes) if state.caches[p][l] == SHARED
+        ]
+        if len(modified) > 1:
+            out.append(
+                ModelViolation(
+                    "single-writer",
+                    f"block {block} is MODIFIED at nodes {modified}",
+                )
+            )
+            continue
+        if modified:
+            m = modified[0]
+            if shared:
+                out.append(
+                    ModelViolation(
+                        "single-writer",
+                        f"block {block} is MODIFIED at node {m} but also "
+                        f"SHARED at {shared}",
+                    )
+                )
+            if line is None or not line.dirty or line.owner != m:
+                out.append(
+                    ModelViolation(
+                        "directory-coverage",
+                        f"block {block} is MODIFIED at node {m} but the "
+                        f"home directory says dirty="
+                        f"{line.dirty if line else None} owner="
+                        f"{line.owner if line else None}",
+                    )
+                )
+            continue
+        if line is not None and line.dirty:
+            owner = line.owner
+            wb_pending = owner is not None and (MSG_WB, l, owner) in state.msgs
+            if not wb_pending:
+                out.append(
+                    ModelViolation(
+                        "directory-coverage",
+                        f"home marks block {block} dirty (owner {owner}) but "
+                        f"no MODIFIED copy or in-flight writeback exists",
+                    )
+                )
+        if shared:
+            if line is None:
+                out.append(
+                    ModelViolation(
+                        "directory-coverage",
+                        f"block {block} is SHARED at {shared} but the home "
+                        f"holds no directory line",
+                    )
+                )
+            else:
+                covered = line.entry.invalidation_targets()
+                missed = [p for p in shared if p not in covered]
+                if missed:
+                    out.append(
+                        ModelViolation(
+                            "directory-coverage",
+                            f"block {block} is SHARED at {missed} but the "
+                            f"directory covers only {sorted(covered)}",
+                        )
+                    )
+        if exact_scheme and line is not None and not line.entry.is_exact():
+            out.append(
+                ModelViolation(
+                    "precision-contract",
+                    f"scheme {state.stores[0].scheme.name} declares "
+                    f'precision="exact" but block {block}\'s entry degraded',
+                )
+            )
+    return out
+
+
+def drain_violation(
+    state: ModelState, cfg: ModelConfig
+) -> Optional[ModelViolation]:
+    """Transient-state termination: in-flight messages must drain.
+
+    From any reachable state, repeatedly delivering the smallest pending
+    message must strictly shrink the in-flight set to empty within
+    ``len(msgs)`` steps (delivery consumes its message and never issues
+    new ones).  A model whose delivery re-queued work would loop here —
+    this is the checked guarantee that no transient state is sticky.
+    """
+    cur = state
+    budget = len(state.msgs)
+    steps = 0
+    while cur.msgs:
+        if steps >= budget:
+            return ModelViolation(
+                "transient-termination",
+                f"messages failed to drain within {budget} deliveries: "
+                f"{sorted(cur.msgs)} still pending",
+            )
+        msg = sorted(cur.msgs)[0]
+        cur, _ = apply_action(cur, ("deliver",) + msg, cfg)
+        steps += 1
+    return None
+
+
+# -- counterexample replay --------------------------------------------------
+
+
+def _issue_actions(actions: Sequence[Action]) -> List[Tuple[str, int, int]]:
+    return [
+        (str(a[0]), int(a[1]), int(a[2]))  # type: ignore[arg-type]
+        for a in actions
+        if a[0] in ("read", "write", "evict", "drop")
+    ]
+
+
+def counterexample_workload(
+    actions: Sequence[Action], cfg: ModelConfig
+) -> Tuple["MachineConfig", ScriptedWorkload]:
+    """Turn an explorer trace into a (MachineConfig, ScriptedWorkload) pair.
+
+    Only the *issue* actions matter — the simulator picks its own delivery
+    timing, and the trace's interleaving is approximated by spacing issues
+    ``REPLAY_GAP`` cycles apart (global serialization), which reproduces
+    every counterexample our mutants produce because their violations are
+    visible in quiescent states.  ``evict``/``drop`` actions are forced by
+    reading a scratch block that conflicts in the replay machine's tiny
+    direct-mapped cache.
+    """
+    from repro.machine.config import MachineConfig
+
+    block_bytes = 16
+    scripts: List[List[TraceOp]] = [[] for _ in range(cfg.num_nodes)]
+    last_step = [0] * cfg.num_nodes
+    for step, (kind, p, l) in enumerate(_issue_actions(actions), start=1):
+        pad = (step - last_step[p]) * REPLAY_GAP
+        scripts[p].append(Work(pad))
+        block = cfg.blocks[l]
+        if kind == "read":
+            scripts[p].append(Read(block * block_bytes))
+        elif kind == "write":
+            scripts[p].append(Write(block * block_bytes))
+        else:  # evict / drop: read a conflicting scratch block
+            scratch = block + REPLAY_CACHE_BLOCKS
+            scripts[p].append(Read(scratch * block_bytes))
+        last_step[p] = step
+    machine = MachineConfig(
+        num_clusters=cfg.num_nodes,
+        procs_per_cluster=1,
+        block_bytes=block_bytes,
+        l1_bytes=block_bytes * REPLAY_CACHE_BLOCKS,
+        l1_assoc=1,
+        l2_bytes=block_bytes * REPLAY_CACHE_BLOCKS,
+        l2_assoc=1,
+        replacement_hints=False,
+    )
+    workload = ScriptedWorkload(scripts, block_bytes=block_bytes)
+    return machine, workload
+
+
+def replay_counterexample(
+    actions: Sequence[Action],
+    cfg: ModelConfig,
+    scheme: DirectoryScheme,
+) -> Optional[AssertionError]:
+    """Replay a trace through the full simulator under strict invariants.
+
+    Returns the :class:`~repro.machine.invariants.CoherenceViolation`
+    (an ``AssertionError`` subclass) the replay triggered, or ``None`` if
+    the simulator survived the trace.  ``scheme`` must be a fresh instance
+    — the explorer's copy has mutated entries.
+    """
+    from repro.machine.system import DashSystem
+
+    machine, workload = counterexample_workload(actions, cfg)
+    system = DashSystem(
+        machine, workload, scheme=scheme, strict=True, invariants="strict"
+    )
+    try:
+        system.run()
+        system.check_coherence()
+    except AssertionError as violation:
+        return violation
+    return None

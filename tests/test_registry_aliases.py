@@ -1,0 +1,62 @@
+"""Alias handling and round-trips for ``repro.core.registry``."""
+
+import pytest
+
+from repro.core.coarse_vector import CoarseVectorScheme
+from repro.core.full_bit_vector import FullBitVectorScheme
+from repro.core.linked_list import LinkedListScheme
+from repro.core.registry import make_scheme
+
+
+@pytest.mark.parametrize(
+    "spelling",
+    ["Dir3CV2", "dir3cv2", "DIR3CV2", "Dir 3 CV 2", "dir_3_cv_2", " Dir3CV2 "],
+)
+def test_spellings_are_equivalent(spelling):
+    scheme = make_scheme(spelling, 16)
+    assert isinstance(scheme, CoarseVectorScheme)
+    assert scheme.num_pointers == 3 and scheme.region_size == 2
+
+
+def test_dir_k_equal_to_n_is_full_bit_vector():
+    scheme = make_scheme("Dir8", 8)
+    assert isinstance(scheme, FullBitVectorScheme)
+    assert scheme.num_nodes == 8
+
+
+def test_dir_k_mismatch_names_both_numbers():
+    with pytest.raises(ValueError) as excinfo:
+        make_scheme("Dir16", 32)
+    message = str(excinfo.value)
+    assert "k=16" in message
+    assert "num_nodes=32" in message
+    # the error should steer the user toward the limited-pointer spellings
+    assert "Dir16B" in message and "Dir16NB" in message
+
+
+def test_dirll_sizes_to_the_machine():
+    scheme = make_scheme("DirLL", 6)
+    assert isinstance(scheme, LinkedListScheme)
+    assert scheme.num_nodes == 6
+
+
+def test_dirll_with_matching_suffix_round_trips():
+    scheme = make_scheme("DirLL6", 6)
+    assert isinstance(scheme, LinkedListScheme)
+    assert make_scheme(scheme.name, 6).name == scheme.name
+
+
+def test_dirll_with_mismatched_suffix_is_rejected():
+    with pytest.raises(ValueError, match="plain 'DirLL'"):
+        make_scheme("DirLL3", 6)
+
+
+@pytest.mark.parametrize(
+    "name", ["DirN", "Dir2B", "Dir2NB", "Dir2X", "Dir1CV2", "Dir1OF4", "DirLL"]
+)
+def test_scheme_name_round_trips(name):
+    """``scheme.name`` must itself be a valid registry spelling."""
+    first = make_scheme(name, 8)
+    second = make_scheme(first.name, 8)
+    assert type(second) is type(first)
+    assert second.name == first.name

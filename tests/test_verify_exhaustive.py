@@ -1,0 +1,52 @@
+"""Exhaustive model-check sweep: every registry scheme family at N=4.
+
+Deselected by default (``addopts = -m 'not exhaustive'``); run with::
+
+    PYTHONPATH=src python -m pytest -m exhaustive tests/test_verify_exhaustive.py
+
+See EXPERIMENTS.md for the sweep's place in the verification story.
+"""
+
+import pytest
+
+from repro.core.registry import make_scheme
+from repro.verify.explorer import explore
+from repro.verify.model import ModelConfig
+
+NODES = 4
+
+#: one spelling per scheme family the registry can build
+SCHEMES = [
+    "DirN",       # full bit vector
+    "Dir1B",      # limited pointers, broadcast on overflow
+    "Dir2B",
+    "Dir1NB",     # limited pointers, forced eviction
+    "Dir2NB",
+    "Dir1X",      # composite-pointer superset
+    "Dir2X",
+    "Dir1CV2",    # coarse vector (the paper's proposal)
+    "Dir2CV2",
+    "DirLL",      # SCI-style linked list
+    "Dir1OF2",    # wide-entry overflow cache
+]
+
+
+@pytest.mark.exhaustive
+@pytest.mark.parametrize("name", SCHEMES)
+def test_scheme_is_coherent_over_all_reachable_states(name):
+    cfg = ModelConfig(scheme=make_scheme(name, NODES), num_nodes=NODES)
+    result = explore(cfg)
+    assert not result.truncated, "state bound hit; raise max_states"
+    assert result.violation is None, result.violation.format()
+    assert result.states > 0
+
+
+@pytest.mark.exhaustive
+@pytest.mark.parametrize("name", ["DirN", "Dir1CV2"])
+def test_scheme_is_coherent_with_sparse_directory(name):
+    cfg = ModelConfig(
+        scheme=make_scheme(name, NODES), num_nodes=NODES, sparse_ways=1
+    )
+    result = explore(cfg)
+    assert not result.truncated
+    assert result.violation is None, result.violation.format()

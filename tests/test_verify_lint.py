@@ -1,0 +1,285 @@
+"""Every lint rule has a failing fixture, a passing twin, and a suppression."""
+
+from pathlib import Path
+
+from repro.verify.lint import LINT_RULES, run_lint
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _lint_tree(tmp_path, files):
+    """Write ``{relpath: source}`` under ``tmp_path`` and lint the tree."""
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    return run_lint([str(tmp_path)])
+
+
+def _rules(findings):
+    return [f.rule for f in findings]
+
+
+# -- enum-dispatch ----------------------------------------------------------
+
+
+def test_enum_dict_missing_members_is_flagged(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/dispatch.py": (
+            "HANDLERS = {\n"
+            "    MsgClass.REQUEST: 1,\n"
+            "    MsgClass.REPLY: 2,\n"
+            "}\n"
+        ),
+    })
+    assert _rules(findings) == ["enum-dispatch"]
+    assert "INVALIDATION" in findings[0].message
+
+
+def test_enum_dict_covering_all_members_is_clean(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/dispatch.py": (
+            "HANDLERS = {\n"
+            "    MsgClass.REQUEST: 1,\n"
+            "    MsgClass.REPLY: 2,\n"
+            "    MsgClass.INVALIDATION: 3,\n"
+            "    MsgClass.ACKNOWLEDGEMENT: 4,\n"
+            "}\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_enum_chain_without_else_is_flagged(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/chain.py": (
+            "def f(kind):\n"
+            "    if kind == FaultKind.DROP:\n"
+            "        return 1\n"
+            "    elif kind == FaultKind.DELAY:\n"
+            "        return 2\n"
+        ),
+    })
+    assert _rules(findings) == ["enum-dispatch"]
+
+
+def test_enum_chain_with_else_is_clean(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/chain.py": (
+            "def f(kind):\n"
+            "    if kind == FaultKind.DROP:\n"
+            "        return 1\n"
+            "    elif kind == FaultKind.DELAY:\n"
+            "        return 2\n"
+            "    else:\n"
+            "        raise ValueError(kind)\n"
+        ),
+    })
+    assert findings == []
+
+
+# -- unseeded-random --------------------------------------------------------
+
+
+def test_module_level_random_in_machine_is_flagged(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/net.py": (
+            "import random\n"
+            "def jitter():\n"
+            "    return random.random()\n"
+        ),
+    })
+    assert _rules(findings) == ["unseeded-random"]
+
+
+def test_seeded_random_instance_is_clean(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/net.py": (
+            "import random\n"
+            "def make_rng(seed):\n"
+            "    return random.Random(seed)\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_wall_clock_and_from_imports_are_flagged(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "core/clock.py": (
+            "import time\n"
+            "from random import choice\n"
+            "def now():\n"
+            "    return time.perf_counter()\n"
+            "def pick(xs):\n"
+            "    return choice(xs)\n"
+        ),
+    })
+    assert _rules(findings) == ["unseeded-random", "unseeded-random"]
+
+
+def test_randomness_outside_machine_and_core_is_allowed(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "analysis/sampling.py": (
+            "import random\n"
+            "def pick():\n"
+            "    return random.random()\n"
+        ),
+    })
+    assert findings == []
+
+
+# -- unordered-iteration ----------------------------------------------------
+
+
+def test_iterating_a_set_display_is_flagged(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/loop.py": (
+            "def f():\n"
+            "    for x in {1, 2, 3}:\n"
+            "        print(x)\n"
+        ),
+    })
+    assert _rules(findings) == ["unordered-iteration"]
+
+
+def test_iterating_invalidation_targets_is_flagged(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/inval.py": (
+            "def f(entry):\n"
+            "    return [t for t in entry.invalidation_targets()]\n"
+        ),
+    })
+    assert _rules(findings) == ["unordered-iteration"]
+
+
+def test_sorted_iteration_is_clean(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/loop.py": (
+            "def f(entry):\n"
+            "    for t in sorted(entry.invalidation_targets()):\n"
+            "        print(t)\n"
+        ),
+    })
+    assert findings == []
+
+
+# -- unregistered-scheme ----------------------------------------------------
+
+
+def test_orphan_scheme_is_flagged(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "core/schemes.py": (
+            "class GoodScheme(DirectoryScheme):\n"
+            "    pass\n"
+            "class OrphanScheme(DirectoryScheme):\n"
+            "    pass\n"
+        ),
+        "core/registry.py": (
+            "FACTORIES = {'good': GoodScheme}\n"
+        ),
+    })
+    assert _rules(findings) == ["unregistered-scheme"]
+    assert "OrphanScheme" in findings[0].message
+
+
+def test_transitive_subclass_is_also_checked(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "core/schemes.py": (
+            "class BaseScheme(DirectoryScheme):\n"
+            "    pass\n"
+            "class ChildScheme(BaseScheme):\n"
+            "    pass\n"
+        ),
+        "core/registry.py": (
+            "FACTORIES = {'base': BaseScheme}\n"
+        ),
+    })
+    assert "ChildScheme" in " ".join(f.message for f in findings)
+
+
+def test_private_helper_base_is_exempt(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "core/schemes.py": (
+            "class _HelperScheme(DirectoryScheme):\n"
+            "    pass\n"
+        ),
+        "core/registry.py": "FACTORIES = {}\n",
+    })
+    assert findings == []
+
+
+# -- undeclared-stat --------------------------------------------------------
+
+_STATS = (
+    "class SimStats:\n"
+    "    def __init__(self):\n"
+    "        self.reads = 0\n"
+)
+
+
+def test_undeclared_counter_is_flagged(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/stats.py": _STATS,
+        "machine/ctrl.py": (
+            "def f(self):\n"
+            "    self.stats.reads += 1\n"
+            "    self.stats.bogus += 1\n"
+        ),
+    })
+    assert _rules(findings) == ["undeclared-stat"]
+    assert "bogus" in findings[0].message
+
+
+# -- suppression and the shipped tree ---------------------------------------
+
+
+def test_inline_suppression_by_rule_name(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/net.py": (
+            "import random\n"
+            "def jitter():\n"
+            "    return random.random()  # lint: ignore[unseeded-random]\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_bare_suppression_covers_all_rules(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/loop.py": (
+            "def f():\n"
+            "    for x in {1, 2}:  # lint: ignore\n"
+            "        print(x)\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_suppressing_one_rule_keeps_the_other(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/loop.py": (
+            "def f():\n"
+            "    for x in {1, 2}:  # lint: ignore[unseeded-random]\n"
+            "        print(x)\n"
+        ),
+    })
+    assert _rules(findings) == ["unordered-iteration"]
+
+
+def test_syntax_error_becomes_parse_error_finding(tmp_path):
+    findings = _lint_tree(tmp_path, {"machine/bad.py": "def broken(:\n"})
+    assert _rules(findings) == ["parse-error"]
+
+
+def test_every_rule_has_a_catalog_entry():
+    assert set(LINT_RULES) == {
+        "enum-dispatch",
+        "unseeded-random",
+        "unordered-iteration",
+        "unregistered-scheme",
+        "undeclared-stat",
+    }
+
+
+def test_shipped_tree_is_clean():
+    assert run_lint([str(REPO_SRC)]) == []
