@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench examples results clean
+.PHONY: install test bench bench-perf examples results clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -10,6 +10,10 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# perf telemetry: writes the schema-versioned BENCH_throughput.json
+bench-perf:
+	PYTHONPATH=src python benchmarks/bench_simulator_throughput.py
 
 # regenerate every table/figure report (and results/*.json)
 results:

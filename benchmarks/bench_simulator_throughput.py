@@ -2,15 +2,34 @@
 
 Not a paper artifact — this benchmarks the *substrate itself* so
 regressions in the event kernel, cache, or directory hot paths are
-caught.  Uses multiple pytest-benchmark rounds (the paper benchmarks run
-single-shot because each simulation is seconds long and deterministic).
+caught.  Two entry points:
 
-Run:  pytest benchmarks/bench_simulator_throughput.py --benchmark-only
+* ``pytest benchmarks/bench_simulator_throughput.py --benchmark-only``
+  runs the pytest-benchmark rounds (the paper benchmarks run
+  single-shot because each simulation is seconds long and
+  deterministic);
+* ``python benchmarks/bench_simulator_throughput.py [--quick]`` runs
+  the perf-telemetry pipeline: it measures events/sec and msgs/sec per
+  scheme plus peak RSS, and writes the schema-versioned
+  ``BENCH_throughput.json`` at the repo root (``make bench-perf``; CI
+  uploads it as an artifact).
 """
+
+import argparse
+import time
+from pathlib import Path
 
 from repro.apps import MP3DWorkload, UniformRandomWorkload
 from repro.machine import MachineConfig, run_workload
+from repro.machine.system import DashSystem
+from repro.obs.telemetry import write_bench
 from repro.trace import characterize
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: schemes timed by the per-scheme breakdown (full map + the paper's
+#: limited-pointer variants)
+SCHEMES = ("full", "Dir3B", "Dir3CV2", "Dir3NB")
 
 
 def _run_random():
@@ -41,3 +60,61 @@ def test_throughput_characterize(benchmark):
     wl = MP3DWorkload(8, num_particles=256, steps=2)
     st = benchmark(characterize, wl)
     assert st.shared_refs > 0
+
+
+# -- perf-telemetry pipeline (python benchmarks/bench_... / make bench-perf) --
+
+
+def _measure(scheme: str, *, particles: int, steps: int) -> dict:
+    """Time one MP3D run of a scheme; returns the per-scheme record."""
+    cfg = MachineConfig(num_clusters=8, scheme=scheme)
+    wl = MP3DWorkload(8, num_particles=particles, steps=steps)
+    system = DashSystem(cfg, wl)
+    t0 = time.perf_counter()
+    stats = system.run()
+    wall = time.perf_counter() - t0
+    refs = sum(p.reads + p.writes for p in stats.procs)
+    return {
+        "scheme": scheme,
+        "wall_s": round(wall, 4),
+        "sim_events": system.events.events_run,
+        "events_per_s": round(system.events.events_run / wall) if wall else 0,
+        "refs": refs,
+        "refs_per_s": round(refs / wall) if wall else 0,
+        "messages": stats.total_messages,
+        "msgs_per_s": round(stats.total_messages / wall) if wall else 0,
+        "sim_cycles": stats.exec_time,
+    }
+
+
+def main(argv=None) -> int:
+    """Run the throughput sweep and write ``BENCH_throughput.json``."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller workload (CI smoke; flagged in the envelope)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=REPO_ROOT,
+        help="directory to write BENCH_throughput.json into",
+    )
+    args = parser.parse_args(argv)
+    particles, steps = (128, 1) if args.quick else (512, 3)
+    results = []
+    for scheme in SCHEMES:
+        record = _measure(scheme, particles=particles, steps=steps)
+        results.append(record)
+        print(
+            f"{record['scheme']:>8}: {record['events_per_s']:>9,} events/s  "
+            f"{record['msgs_per_s']:>9,} msgs/s  ({record['wall_s']:.3f}s)"
+        )
+    path = write_bench(
+        "throughput", results, root=args.out, quick=args.quick,
+        extra={"workload": "mp3d", "particles": particles, "steps": steps},
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,6 +15,12 @@ from typing import Any, Dict
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
+#: version of the results/*.json file format.  1 was the original
+#: unversioned shape; 2 adds the top-level "schema" header (figure
+#: numbers are unchanged).  repro.analysis.sweeps.load_results_dict
+#: accepts both.
+RESULTS_SCHEMA = 2
+
 
 def _plain(value: Any) -> Any:
     """Coerce stats objects / numpy scalars / tuples into JSON-safe data."""
@@ -32,11 +38,12 @@ def _plain(value: Any) -> Any:
 
 
 def save_results(name: str, data: Dict[str, Any]) -> Path:
-    """Write ``results/<name>.json``; returns the path written."""
+    """Write ``results/<name>.json`` (schema-tagged); returns the path."""
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.json"
+    record = {"schema": RESULTS_SCHEMA, **_plain(data)}
     with open(path, "w") as fh:
-        json.dump(_plain(data), fh, indent=2, sort_keys=True)
+        json.dump(record, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return path
 

@@ -9,6 +9,8 @@ from repro.analysis.invalidation import (
 from repro.analysis.report import (
     format_fault_report,
     format_histogram,
+    format_metrics_report,
+    format_profile,
     format_series,
     format_table,
     normalized,
@@ -19,7 +21,12 @@ from repro.analysis.distributions import (
     excess_invalidations,
     total_variation_distance,
 )
-from repro.analysis.sweeps import Sweep, SweepResults
+from repro.analysis.sweeps import (
+    Sweep,
+    SweepResults,
+    load_results_dict,
+    load_stats_dict,
+)
 from repro.analysis.charts import ascii_chart
 
 __all__ = [
@@ -31,6 +38,8 @@ __all__ = [
     "format_series",
     "format_histogram",
     "format_fault_report",
+    "format_metrics_report",
+    "format_profile",
     "normalized",
     "DistributionSummary",
     "broadcast_mass",
@@ -38,5 +47,7 @@ __all__ = [
     "total_variation_distance",
     "Sweep",
     "SweepResults",
+    "load_results_dict",
+    "load_stats_dict",
     "ascii_chart",
 ]

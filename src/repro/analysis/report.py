@@ -107,6 +107,54 @@ def format_verification_report(results: Iterable["ExploreResult"]) -> str:
     )
 
 
+def format_metrics_report(metrics: Mapping[str, object]) -> str:
+    """Render an exported metrics block (``SimStats.to_dict()["metrics"]``).
+
+    Counters and gauges become one table; each log2 histogram prints its
+    count/mean headline and a bar per occupied bucket (upper bounds are
+    powers of two, so rows read "< 16", "< 32", ...).
+    """
+    counters: Mapping[str, object] = metrics.get("counters", {})  # type: ignore[assignment]
+    gauges: Mapping[str, object] = metrics.get("gauges", {})  # type: ignore[assignment]
+    histograms: Mapping[str, Mapping[str, object]] = metrics.get(  # type: ignore[assignment]
+        "histograms", {}
+    )
+    sections: List[str] = []
+    scalar_rows: List[Sequence[object]] = [
+        [name, "counter", value] for name, value in sorted(counters.items())
+    ] + [
+        [name, "gauge", value] for name, value in sorted(gauges.items())
+    ]
+    if scalar_rows:
+        sections.append(format_table(["metric", "kind", "value"], scalar_rows))
+    for name in sorted(histograms):
+        hist = histograms[name]
+        buckets: Mapping[str, int] = hist.get("buckets", {})  # type: ignore[assignment]
+        sections.append(
+            f"histogram {name}: count={hist.get('count', 0)} "
+            f"mean={hist.get('mean', 0.0)}"
+        )
+        if buckets:
+            peak = max(buckets.values())
+            lines = []
+            for ub in sorted(buckets, key=int):
+                n = buckets[ub]
+                bar = "#" * max(1, round(30 * n / peak)) if n else ""
+                lines.append(f"  < {ub:>8}  {n:8,}  {bar}")
+            sections.append("\n".join(lines))
+    if not sections:
+        return "(no metrics recorded)"
+    return "\n".join(sections)
+
+
+def format_profile(rows: Iterable[Sequence[object]]) -> str:
+    """Table for :meth:`repro.obs.profiler.PhaseProfiler.to_rows`."""
+    return format_table(
+        ["phase", "wall s", "sim events", "events/s", "trace events"],
+        rows,
+    )
+
+
 def normalized(
     values: Mapping[str, float], *, baseline: str
 ) -> Dict[str, float]:

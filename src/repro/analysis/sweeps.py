@@ -25,9 +25,44 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Seque
 
 from repro.analysis.report import format_table
 from repro.machine.config import MachineConfig
-from repro.machine.stats import SimStats
+from repro.machine.stats import STATS_SCHEMA, SimStats
 from repro.machine.system import run_workload
 from repro.trace.workload import Workload
+
+
+def load_stats_dict(data: Mapping[str, Any]) -> Dict[str, Any]:
+    """Normalize a persisted ``SimStats.to_dict()`` record to schema 2.
+
+    Accepts both the original unversioned shape (schema 1, no ``schema``
+    key) and the current one; rejects records declaring a *newer* schema
+    than this build understands.  Returns a plain dict always carrying
+    ``schema``, so downstream code can index uniformly.
+    """
+    schema = data.get("schema", 1)
+    if not isinstance(schema, int) or schema < 1 or schema > STATS_SCHEMA:
+        raise ValueError(
+            f"unsupported stats schema {schema!r} "
+            f"(this build reads <= {STATS_SCHEMA})"
+        )
+    out = {"schema": STATS_SCHEMA}
+    out.update({k: v for k, v in data.items() if k != "schema"})
+    return out
+
+
+def load_results_dict(data: Mapping[str, Any]) -> Dict[str, Any]:
+    """Normalize a ``results/*.json`` file body (schema 1 or 2).
+
+    Version-1 files had no top-level ``schema`` header; version-2 files
+    (written by ``benchmarks.common.save_results``) do.  The figure
+    payload is returned unchanged either way, without the header.
+    """
+    schema = data.get("schema", 1)
+    if not isinstance(schema, int) or schema < 1 or schema > STATS_SCHEMA:
+        raise ValueError(
+            f"unsupported results schema {schema!r} "
+            f"(this build reads <= {STATS_SCHEMA})"
+        )
+    return {k: v for k, v in data.items() if k != "schema"}
 
 
 @dataclass(frozen=True)

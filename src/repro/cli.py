@@ -230,6 +230,13 @@ def cmd_verify(args) -> int:
     return verify_main(args.verify_args)
 
 
+def cmd_obs(args) -> int:
+    """``repro obs``: delegate to the observability CLI."""
+    from repro.obs.cli import main as obs_main
+
+    return obs_main(args.obs_args)
+
+
 def _add_machine_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--procs", type=int, default=32, help="processors (= clusters)")
     p.add_argument("--scheme", default="full", help="directory scheme name")
@@ -319,6 +326,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="arguments for repro.verify (try: verify check --scheme full -n 3)",
     )
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "obs", help="structured tracing, trace summaries, metrics diffs"
+    )
+    p.add_argument(
+        "obs_args",
+        nargs=argparse.REMAINDER,
+        metavar="...",
+        help="arguments for repro.obs "
+             "(try: obs trace --app mp3d --out trace.json)",
+    )
+    p.set_defaults(func=cmd_obs)
 
     return parser
 

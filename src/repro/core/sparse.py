@@ -113,6 +113,12 @@ class DirectoryStore(ABC):
     def capacity_entries(self) -> Optional[int]:
         """Number of entry slots, or ``None`` for an unbounded full map."""
 
+    def occupancy(self) -> int:
+        """Number of entries currently held (observability's occupancy
+        sample); concrete stores override with an O(1) count when one is
+        available."""
+        return sum(1 for _ in self.lines())
+
 
 class FullMapDirectory(DirectoryStore):
     """One entry per memory block — the paper's non-sparse baseline.
@@ -151,6 +157,10 @@ class FullMapDirectory(DirectoryStore):
 
     def lines(self) -> Iterator[Tuple[int, DirLine]]:
         yield from self._lines.items()
+
+    def occupancy(self) -> int:
+        """Lines currently materialized (the touched working set)."""
+        return len(self._lines)
 
 
 @dataclass

@@ -20,6 +20,8 @@ from collections import OrderedDict
 from enum import IntEnum
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.obs.tracer import NULL_TRACER
+
 
 class LineState(IntEnum):
     """Cache-line coherence state; absence from the cache means INVALID."""
@@ -93,7 +95,7 @@ class CacheLevel:
 class ProcessorCache:
     """Two-level hierarchy for one processor; L2 is the coherence point."""
 
-    __slots__ = ("l1", "l2", "wb_buffer")
+    __slots__ = ("l1", "l2", "wb_buffer", "tracer", "tid")
 
     def __init__(
         self,
@@ -102,11 +104,16 @@ class ProcessorCache:
         l1_assoc: int,
         l2_bytes: int,
         l2_assoc: int,
+        tracer=NULL_TRACER,
+        tid: int = 0,
     ) -> None:
         self.l1 = CacheLevel(l1_bytes, block_bytes, l1_assoc)
         self.l2 = CacheLevel(l2_bytes, block_bytes, l2_assoc)
         #: dirty blocks evicted but not yet acknowledged by their home
         self.wb_buffer: set[int] = set()
+        #: observability sink (machine-global processor id in ``tid``)
+        self.tracer = tracer
+        self.tid = tid
 
     # -- probes (no state change beyond LRU refresh) -----------------------
 
@@ -159,6 +166,12 @@ class ProcessorCache:
             if vstate is LineState.DIRTY:
                 self.wb_buffer.add(vblock)
             evictions.append((vblock, vstate))
+            if self.tracer.enabled:
+                self.tracer.emit_now(
+                    "cache.evict", comp="cache", tid=self.tid,
+                    args={"block": vblock,
+                          "dirty": vstate is LineState.DIRTY},
+                )
         self.l1.install(block, LineState.SHARED)  # L1 is write-through/clean
         return evictions
 
@@ -186,6 +199,11 @@ class ProcessorCache:
         self.l1.invalidate(block)
         had_wb = block in self.wb_buffer
         self.wb_buffer.discard(block)
+        if (had or had_wb) and self.tracer.enabled:
+            self.tracer.emit_now(
+                "cache.inval", comp="cache", tid=self.tid,
+                args={"block": block},
+            )
         return had or had_wb
 
     def writeback_done(self, block: int) -> None:

@@ -24,6 +24,7 @@ from typing import List, Optional, Tuple
 
 from repro.machine.cache import LineState, ProcessorCache
 from repro.machine.config import MachineConfig
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -40,7 +41,9 @@ class LocalResult:
 class Cluster:
     """One processing node: ``procs_per_cluster`` caches on a snoopy bus."""
 
-    def __init__(self, cluster_id: int, config: MachineConfig) -> None:
+    def __init__(
+        self, cluster_id: int, config: MachineConfig, *, tracer=NULL_TRACER
+    ) -> None:
         self.cluster_id = cluster_id
         self.config = config
         self.caches: List[ProcessorCache] = [
@@ -50,8 +53,10 @@ class Cluster:
                 config.l1_assoc,
                 config.l2_bytes,
                 config.l2_assoc,
+                tracer=tracer,
+                tid=cluster_id * config.procs_per_cluster + i,
             )
-            for _ in range(config.procs_per_cluster)
+            for i in range(config.procs_per_cluster)
         ]
 
     # -- local access paths -------------------------------------------------

@@ -58,7 +58,7 @@ class Transaction:
     """One memory transaction travelling to a home directory."""
 
     __slots__ = ("kind", "block", "requester", "proc_idx", "on_complete",
-                 "still_shared", "attempts", "delivered")
+                 "still_shared", "attempts", "delivered", "t_arrive")
 
     def __init__(
         self,
@@ -79,6 +79,8 @@ class Transaction:
         self.attempts = 0
         #: accepted at the home once — duplicate deliveries are deduped
         self.delivered = False
+        #: acceptance time at the home (observability's dir.service span)
+        self.t_arrive = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Txn {self.kind} block={self.block} from={self.requester}>"
@@ -129,6 +131,7 @@ class DirectoryController:
         deliver = getattr(net, "deliver", None)
         if deliver is None:
             arrival = now + net.leg(txn.requester, self.cluster_id)
+            self._trace_msg(txn, now, arrival)
             machine.events.at(arrival, lambda: self._arrive(txn))
             return
         # Replacement hints depend on point-to-point ordering (a delayed
@@ -161,7 +164,23 @@ class DirectoryController:
                 self._schedule_retry(txn, round_trip)
             return
         for arrival in d.arrivals:
+            self._trace_msg(txn, now, arrival)
             machine.events.at(arrival, lambda: self._arrive(txn))
+
+    def _trace_msg(self, txn: Transaction, sent: float, arrival: float) -> None:
+        """Record one wire message (inject -> deliver) when tracing."""
+        obs = self.machine.obs
+        if obs.enabled:
+            obs.emit(
+                "net.msg",
+                ts=sent,
+                dur=arrival - sent,
+                comp="network",
+                tid=txn.requester,
+                args={"kind": txn.kind, "block": txn.block,
+                      "dst": self.cluster_id},
+            )
+            obs.metrics.histogram("msg_latency").observe(arrival - sent)
 
     def _abandon(self, txn: Transaction) -> None:
         """Drop a best-effort request for good (hints are optimizations)."""
@@ -185,6 +204,15 @@ class DirectoryController:
             )
         machine.stats.fault_retries += 1
         delay = extra_delay + plan.backoff(txn.attempts)
+        obs = machine.obs
+        if obs.enabled:
+            obs.emit_now(
+                "txn.retry", comp="directory", tid=self.cluster_id,
+                args={"kind": txn.kind, "block": txn.block,
+                      "attempt": txn.attempts},
+            )
+            obs.metrics.counter("retries").inc()
+            obs.metrics.histogram("retry_wait").observe(delay)
         machine.events.after(delay, lambda: self._resend(txn))
 
     def _resend(self, txn: Transaction) -> None:
@@ -198,6 +226,7 @@ class DirectoryController:
             # dedupes by sequence number and discards it silently
             return
         txn.delivered = True
+        txn.t_arrive = self.machine.events.now
         plan = self.machine.fault_plan
         if plan is not None and plan.corruption():
             # counted at roll time: the pulse happened even if the line it
@@ -279,6 +308,17 @@ class DirectoryController:
 
     def _finish(self, txn: Transaction) -> None:
         now = self.machine.events.now
+        obs = self.machine.obs
+        if obs.enabled:
+            obs.emit(
+                "dir.service",
+                ts=txn.t_arrive,
+                dur=now - txn.t_arrive,
+                comp="directory",
+                tid=self.cluster_id,
+                args={"kind": txn.kind, "block": txn.block,
+                      "requester": txn.requester},
+            )
         if txn.on_complete is not None:
             # Completion effects (requester fill, processor resume) must be
             # visible before the next transaction on this block executes.
@@ -296,6 +336,35 @@ class DirectoryController:
             self._busy.add(txn.block)
             self._start(nxt)
 
+    # -- observability helpers ---------------------------------------------
+
+    def _trace_inval_round(
+        self, cause: InvalCause, block: int, inval_msgs: int
+    ) -> None:
+        """Record one invalidation round (event + per-cause histogram)."""
+        obs = self.machine.obs
+        if obs.enabled:
+            obs.emit_now(
+                "dir.inval_round", comp="directory", tid=self.cluster_id,
+                args={"cause": cause.value, "block": block,
+                      "invals": inval_msgs},
+            )
+            obs.metrics.histogram(
+                f"invals_per_event.{cause.value}"
+            ).observe(inval_msgs)
+
+    def _sample_occupancy(self) -> None:
+        """Sample this home's directory occupancy (entries in use)."""
+        obs = self.machine.obs
+        if obs.enabled:
+            occ = self.store.occupancy()
+            obs.emit_counter(
+                "dir.occupancy", ts=self.machine.events.now, value=occ,
+                comp="directory", tid=self.cluster_id,
+            )
+            obs.metrics.histogram("dir_occupancy").observe(occ)
+            obs.metrics.gauge("dir_occupancy_peak").set_max(occ)
+
     # -- reads ------------------------------------------------------------------
 
     def _execute_read(self, txn: Transaction) -> float:
@@ -306,6 +375,7 @@ class DirectoryController:
         line, evictions = self.store.get_or_allocate(
             txn.block, avoid=self._pinned_blocks(txn.block)
         )
+        self._sample_occupancy()
         delta = self._process_sparse_evictions(evictions)
 
         if line.dirty and line.owner is not None and line.owner != req:
@@ -364,6 +434,7 @@ class DirectoryController:
                 inval_msgs += 1
         machine.stats.nb_evictions += len(victims)
         machine.stats.record_inval_event(InvalCause.NB_EVICT, inval_msgs)
+        self._trace_inval_round(InvalCause.NB_EVICT, block, inval_msgs)
         if machine.invariants is not None:
             # acks return to the home's RAC, so recipient == home
             machine.invariants.on_inval_round(
@@ -385,6 +456,7 @@ class DirectoryController:
         line, evictions = self.store.get_or_allocate(
             txn.block, avoid=self._pinned_blocks(txn.block)
         )
+        self._sample_occupancy()
         delta = self._process_sparse_evictions(evictions)
 
         if line.dirty and line.owner is not None and line.owner != req:
@@ -491,6 +563,7 @@ class DirectoryController:
         if not serial:
             self._ctrl_free += len(targets) * cfg.inval_issue_cycles
         machine.stats.record_inval_event(InvalCause.WRITE, inval_msgs)
+        self._trace_inval_round(InvalCause.WRITE, txn.block, inval_msgs)
         if machine.invariants is not None:
             # the writer collects one ack per target (targets exclude req)
             machine.invariants.on_inval_round(
@@ -618,8 +691,16 @@ class DirectoryController:
                     + net.leg(t, home),
                 )
             self._ctrl_free += len(ev.targets) * cfg.inval_issue_cycles
+            if machine.obs.enabled:
+                machine.obs.emit_now(
+                    "dir.sparse_evict", comp="directory", tid=home,
+                    args={"block": ev.block, "targets": len(ev.targets)},
+                )
             if ev.targets:
                 machine.stats.record_inval_event(InvalCause.SPARSE_REPL, inval_msgs)
+                self._trace_inval_round(
+                    InvalCause.SPARSE_REPL, ev.block, inval_msgs
+                )
             if machine.invariants is not None:
                 # replacement acks also return to the home's RAC (§7)
                 machine.invariants.on_inval_round(

@@ -22,6 +22,7 @@ import math
 from abc import ABC, abstractmethod
 
 from repro.machine.faults import Delivery, FaultKind, FaultPlan
+from repro.obs.tracer import NULL_TRACER
 
 
 class Network(ABC):
@@ -31,6 +32,8 @@ class Network(ABC):
         if num_clusters < 1:
             raise ValueError("num_clusters must be >= 1")
         self.num_clusters = num_clusters
+        #: observability sink; DashSystem rebinds this to its tracer
+        self.tracer = NULL_TRACER
 
     @abstractmethod
     def leg(self, src: int, dst: int) -> float:
@@ -139,6 +142,11 @@ class FaultyNetwork(Network):
         kind = self.plan.message_fault(reorderable=reorderable)
         if kind is None:
             return Delivery(arrivals=(now + leg,))
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "net.fault", ts=now, comp="network", tid=src,
+                args={"kind": kind.value, "src": src, "dst": dst},
+            )
         if kind is FaultKind.DROP:
             return Delivery(arrivals=(), fault=kind)
         if kind is FaultKind.DUPLICATE:

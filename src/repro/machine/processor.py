@@ -122,6 +122,7 @@ class Processor:
 
     def _issue_memory(self, addr: int, *, is_write: bool) -> None:
         t0 = self.machine.events.now
+        obs = self.machine.obs
 
         def resume(t: float, local_hit: bool) -> None:
             elapsed = t - t0
@@ -129,6 +130,13 @@ class Processor:
                 self.stats.busy += elapsed
             else:
                 self.stats.stall += elapsed
+                if obs.enabled:
+                    obs.emit(
+                        "proc.stall", ts=t0, dur=elapsed, comp="proc",
+                        tid=self.proc_id,
+                        args={"addr": addr, "write": is_write},
+                    )
+                    obs.metrics.histogram("stall_cycles").observe(elapsed)
             self._next()
 
         self.machine.access(self, addr, is_write, resume)
@@ -159,8 +167,16 @@ class Processor:
         self.machine.events.after(WRITE_ISSUE_CYCLES, self._next)
 
     def _sync_resume(self, t0: float):
+        obs = self.machine.obs
+
         def resume(t: float) -> None:
             self.stats.sync += t - t0
+            if obs.enabled and t > t0:
+                obs.emit(
+                    "proc.sync", ts=t0, dur=t - t0, comp="proc",
+                    tid=self.proc_id,
+                )
+                obs.metrics.histogram("sync_cycles").observe(t - t0)
             self._next()
 
         return resume

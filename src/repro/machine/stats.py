@@ -14,10 +14,19 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.machine.faults import FaultKind
 from repro.machine.messages import MSG_LABELS, MsgClass
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.obs.metrics import MetricsRegistry
+
+#: version of the :meth:`SimStats.to_dict` record.  1 was the original
+#: unversioned shape; 2 adds this field itself plus the optional
+#: ``metrics`` block recorded when observability is enabled.  The
+#: backward-compat loader lives in :mod:`repro.analysis.sweeps`.
+STATS_SCHEMA = 2
 
 
 class InvalCause(str, Enum):
@@ -71,6 +80,9 @@ class SimStats:
         self.fault_retries = 0
         #: coherence-invariant violations recorded by the checker
         self.invariant_violations = 0
+        #: observability instruments, bound by DashSystem when a real
+        #: tracer is attached; None on the (byte-identical) default path
+        self.metrics: Optional["MetricsRegistry"] = None
 
     # -- recording --------------------------------------------------------
 
@@ -190,8 +202,9 @@ class SimStats:
         }
 
     def to_dict(self) -> Dict[str, object]:
-        """Flat summary for reports and benchmark output."""
+        """Flat summary for reports and benchmark output (schema 2)."""
         out: Dict[str, object] = {
+            "schema": STATS_SCHEMA,
             "exec_time": self.exec_time,
             "total_messages": self.total_messages,
             **{MSG_LABELS[c]: self.messages.get(c, 0) for c in MsgClass},
@@ -210,6 +223,10 @@ class SimStats:
         # so fault-free runs stay byte-identical to the historical format.
         if self.faults_injected or self.fault_retries or self.invariant_violations:
             out.update(self.fault_summary())
+        # Only present when observability actually recorded something, so
+        # untraced runs keep the historical shape (modulo the schema tag).
+        if self.metrics is not None and not self.metrics.empty:
+            out["metrics"] = self.metrics.to_dict()
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

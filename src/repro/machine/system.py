@@ -33,6 +33,7 @@ from repro.machine.network import FaultyNetwork, make_network
 from repro.machine.processor import Processor
 from repro.machine.stats import SimStats
 from repro.machine.sync import SyncManager
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.trace.workload import Workload
 
 
@@ -48,6 +49,7 @@ class DashSystem:
         strict: bool = False,
         faults: Optional[Union[int, FaultPlan]] = None,
         invariants: Optional[str] = None,
+        obs: Optional[Tracer] = None,
     ) -> None:
         config.validate()
         if workload.num_processors != config.num_processors:
@@ -66,6 +68,13 @@ class DashSystem:
         self.strict = strict
         self.events = EventQueue()
         self.stats = SimStats(config.num_processors)
+        #: observability sink — the shared NULL_TRACER unless a real
+        #: Tracer is attached, so untraced runs pay one attribute load
+        #: plus a falsy `.enabled` check per hook site and nothing more
+        self.obs = obs if obs is not None else NULL_TRACER
+        if self.obs.enabled:
+            self.obs.bind_clock(lambda: self.events.now)
+            self.stats.metrics = self.obs.metrics
         self.network = make_network(config.network, config.num_clusters)
         #: active fault plan, or None for the (byte-identical) clean path
         self.fault_plan: Optional[FaultPlan] = None
@@ -73,6 +82,7 @@ class DashSystem:
             plan = faults if isinstance(faults, FaultPlan) else FaultPlan(faults)
             self.fault_plan = plan
             self.network = FaultyNetwork(self.network, plan)
+        self.network.tracer = self.obs
         #: runtime invariant checker, or None when checking is off
         self.invariants: Optional[InvariantChecker] = None
         if invariants is None:
@@ -84,7 +94,8 @@ class DashSystem:
             config.scheme, config.num_clusters, seed=config.seed
         )
         self.clusters: List[Cluster] = [
-            Cluster(i, config) for i in range(config.num_clusters)
+            Cluster(i, config, tracer=self.obs)
+            for i in range(config.num_clusters)
         ]
         self.directories: List[DirectoryController] = [
             DirectoryController(self, i, self._make_store(i))
@@ -179,8 +190,21 @@ class DashSystem:
 
         self.stats.remote_misses += 1
         home = self.home_of(block)
+        obs = self.obs
+        t_issue = self.events.now
 
         def on_complete(t: float) -> None:
+            if obs.enabled:
+                kind = "write" if is_write else "read"
+                obs.emit(
+                    f"txn.{kind}",
+                    ts=t_issue,
+                    dur=t - t_issue,
+                    comp="directory",
+                    tid=home,
+                    args={"block": block, "requester": cluster_id},
+                )
+                obs.metrics.histogram(f"txn_latency.{kind}").observe(t - t_issue)
             evictions = cluster.install_from_directory(
                 proc.proc_idx, block, dirty=is_write
             )
@@ -202,6 +226,11 @@ class DashSystem:
             home = self.home_of(vblock)
             if was_dirty:
                 self.stats.writebacks += 1
+                if self.obs.enabled:
+                    self.obs.emit_now(
+                        "wb.issue", comp="cluster", tid=cluster_id,
+                        args={"block": vblock},
+                    )
                 still_shared = self.clusters[cluster_id].copies_besides_wb(vblock)
                 self.directories[home].submit(
                     Transaction(
@@ -210,6 +239,11 @@ class DashSystem:
                 )
             elif self.config.replacement_hints:
                 if not self.clusters[cluster_id].copies_besides_wb(vblock):
+                    if self.obs.enabled:
+                        self.obs.emit_now(
+                            "hint.issue", comp="cluster", tid=cluster_id,
+                            args={"block": vblock},
+                        )
                     self.directories[home].submit(
                         Transaction(HINT, vblock, cluster_id)
                     )
@@ -273,13 +307,16 @@ def run_workload(
     strict: bool = False,
     faults: Optional[Union[int, FaultPlan]] = None,
     invariants: Optional[str] = None,
+    obs: Optional[Tracer] = None,
 ) -> SimStats:
     """Build a machine, run the workload, optionally verify coherence.
 
     ``faults`` — an int seed or a :class:`FaultPlan` enables fault
     injection; ``invariants`` — ``"strict"`` / ``"sampled"`` / ``"off"``
     (default: sampled when faults are enabled, off otherwise);
-    ``strict`` makes the first invariant violation raise immediately.
+    ``strict`` makes the first invariant violation raise immediately;
+    ``obs`` — attach a :class:`~repro.obs.tracer.Tracer` to record
+    structured events and metrics (off by default, and free when off).
     """
     system = DashSystem(
         config,
@@ -288,6 +325,7 @@ def run_workload(
         strict=strict,
         faults=faults,
         invariants=invariants,
+        obs=obs,
     )
     stats = system.run()
     if check:

@@ -1,0 +1,85 @@
+"""Central event/metric name registry — the observability vocabulary.
+
+Every trace event a hook point can :meth:`~repro.obs.tracer.Tracer.emit`
+and every metric instrument the machine layer can create is declared
+here, with a one-line description.  The registry serves three purposes:
+
+* **documentation** — ``docs/observability.md`` is generated from (and
+  cross-checked against) these tables;
+* **runtime validation** — a strict :class:`~repro.obs.tracer.Tracer`
+  and :class:`~repro.obs.metrics.MetricsRegistry` reject undeclared
+  names, so a typo'd hook fails loudly in tests instead of producing a
+  silently separate series;
+* **static validation** — ``repro verify lint`` flags any
+  ``emit("...")`` / ``metrics.histogram("...")`` call whose literal name
+  is missing here (rule ``undeclared-obs-name``), mirroring the
+  ``undeclared-stat`` rule for :class:`~repro.machine.stats.SimStats`.
+
+Versioning: :data:`TRACE_SCHEMA` stamps exported trace files,
+:data:`METRICS_SCHEMA` stamps the ``metrics`` block inside
+``SimStats.to_dict()``.  Bump them when the shapes (not the vocabulary)
+change; adding a new declared name is backward compatible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: version of the exported trace-file shape (JSONL and Chrome exporters)
+TRACE_SCHEMA = 1
+
+#: version of the ``metrics`` block in ``SimStats.to_dict()``
+METRICS_SCHEMA = 1
+
+#: trace event name -> one-line description (the event taxonomy)
+EVENTS: Dict[str, str] = {
+    # transaction lifecycle (component "system")
+    "txn.read": "read miss: directory request issue -> completion (span)",
+    "txn.write": "write miss/upgrade: request issue -> completion (span)",
+    "txn.retry": "faulted request reissued after backoff (instant)",
+    "wb.issue": "dirty eviction put a writeback on the wire (instant)",
+    "hint.issue": "clean eviction sent a replacement hint (instant)",
+    # directory controller (component "directory")
+    "dir.service": "home controller service: arrival -> finish (span)",
+    "dir.inval_round": "one invalidation event, tagged by cause (instant)",
+    "dir.sparse_evict": "sparse-directory entry replacement (instant)",
+    "dir.occupancy": "live directory entries at this home (counter)",
+    # interconnect (component "network")
+    "net.msg": "one inter-cluster message: inject -> deliver (span)",
+    "net.fault": "fault layer perturbed a delivery (instant)",
+    # caches (component "cache")
+    "cache.evict": "L2 victim pushed out by a fill (instant)",
+    "cache.inval": "cache copy killed by an invalidation (instant)",
+    # processors (component "proc")
+    "proc.stall": "processor stalled on the memory system (span)",
+    "proc.sync": "processor waited on a lock/barrier (span)",
+}
+
+#: metric instrument name -> one-line description (the metrics glossary)
+METRICS: Dict[str, str] = {
+    # histograms (log2-bucketed, cycles unless noted)
+    "msg_latency": "per-message inject -> deliver latency",
+    "txn_latency.read": "read request issue -> completion latency",
+    "txn_latency.write": "write request issue -> completion latency",
+    "dir_occupancy": "live directory entries sampled per transaction",
+    "invals_per_event.write": "invalidations sent per write event",
+    "invals_per_event.nb_evict": "invalidations per Dir_iNB pointer eviction",
+    "invals_per_event.sparse_repl": "invalidations per sparse replacement",
+    "retry_wait": "backoff delay per fault-forced retry",
+    "stall_cycles": "per-reference processor stall time",
+    "sync_cycles": "per-operation lock/barrier wait time",
+    # counters
+    "retries": "fault-forced request reissues observed",
+    # gauges
+    "dir_occupancy_peak": "max live directory entries seen at any home",
+}
+
+
+def is_declared_event(name: str) -> bool:
+    """True when ``name`` is in the event taxonomy."""
+    return name in EVENTS
+
+
+def is_declared_metric(name: str) -> bool:
+    """True when ``name`` is in the metrics glossary."""
+    return name in METRICS

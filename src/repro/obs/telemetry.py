@@ -1,0 +1,115 @@
+"""Perf-telemetry pipeline: schema-versioned ``BENCH_*.json`` artifacts.
+
+Performance benchmarks (simulator throughput today; any future hot-path
+study) route their numbers through :func:`write_bench` so every run
+lands as ``BENCH_<name>.json`` at the repository root in one shape::
+
+    {
+      "schema": 1,
+      "bench": "throughput",
+      "quick": false,
+      "host": {"platform": "...", "python": "...", "cpus": 8},
+      "peak_rss_bytes": 123456789,
+      "results": { ... benchmark-specific ... }
+    }
+
+CI uploads the file as an artifact, so subsequent PRs have a regression
+baseline to diff against (``repro obs diff`` understands the metrics
+blocks inside).  The payload is wall-clock data and therefore *not*
+deterministic — BENCH files are artifacts, never test fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import resource
+import sys
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Union
+
+#: version of the BENCH_*.json envelope
+BENCH_SCHEMA = 1
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize so
+    telemetry is comparable across CI runners and laptops.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak if sys.platform == "darwin" else peak * 1024
+
+
+def host_info() -> Dict[str, object]:
+    """Machine facts that contextualize wall-clock numbers."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def bench_envelope(
+    name: str,
+    results: Any,
+    *,
+    quick: bool = False,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Dict[str, Any]:
+    """The full, schema-versioned payload for one benchmark run.
+
+    ``results`` is benchmark-shaped: a mapping of named numbers or a
+    list of per-configuration records — it is stored verbatim.
+    """
+    payload: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "bench": name,
+        "quick": quick,
+        "host": host_info(),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "results": dict(results) if isinstance(results, Mapping) else list(results),
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def write_bench(
+    name: str,
+    results: Any,
+    *,
+    root: Union[str, Path],
+    quick: bool = False,
+    extra: Optional[Mapping[str, Any]] = None,
+) -> Path:
+    """Write ``<root>/BENCH_<name>.json``; returns the path written."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"BENCH_{name}.json"
+    with open(path, "w") as fh:
+        json.dump(
+            bench_envelope(name, results, quick=quick, extra=extra),
+            fh, indent=2, sort_keys=True,
+        )
+        fh.write("\n")
+    return path
+
+
+def load_bench(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read a ``BENCH_*.json`` file, validating its schema version."""
+    path = Path(path)
+    with open(path) as fh:
+        data = json.load(fh)
+    schema = data.get("schema")
+    if not isinstance(schema, int) or schema < 1 or schema > BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported bench schema {schema!r} "
+            f"(this build reads <= {BENCH_SCHEMA})"
+        )
+    if "results" not in data:
+        raise ValueError(f"{path}: missing 'results' block")
+    return data

@@ -27,6 +27,15 @@ Rules (see ``docs/verification.md`` for the full rationale):
     ``ProcessorStats`` — incrementing an undeclared counter would create
     it on the fly on one code path and crash or silently read 0 on
     another.
+``undeclared-obs-name``
+    Every literal event name passed to ``.emit(...)`` / ``.emit_now(...)``
+    / ``.emit_counter(...)`` must be declared in ``obs/registry.py``'s
+    ``EVENTS``, and every literal metric name passed to a metrics
+    registry's ``.counter(...)`` / ``.gauge(...)`` / ``.histogram(...)``
+    must be in ``METRICS`` — an unregistered name would silently fork the
+    taxonomy that exporters, reports, and ``repro obs diff`` agree on.
+    (Dynamically built names are validated at runtime by the strict
+    tracer instead.)
 
 Suppress a finding inline with ``# lint: ignore[rule-name]`` (or a bare
 ``# lint: ignore`` for all rules) on the offending line.
@@ -50,6 +59,8 @@ LINT_RULES: Dict[str, str] = {
     "unregistered-scheme": "every concrete DirectoryScheme must appear in "
     "core/registry.py",
     "undeclared-stat": "stats counters must be declared before incremented",
+    "undeclared-obs-name": "trace event / metric names must be declared in "
+    "obs/registry.py",
 }
 
 #: enums whose dispatch must be exhaustive, with their member names
@@ -456,6 +467,109 @@ def _check_undeclared_stat(
             )
 
 
+# -- rule: undeclared-obs-name ----------------------------------------------
+
+#: tracer methods whose first positional argument is an event name
+_EMIT_METHODS = frozenset({"emit", "emit_now", "emit_counter"})
+#: metrics-registry factory methods keyed by metric name
+_METRIC_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+
+def _declared_obs_names(
+    modules: List[_Module],
+) -> Optional[Tuple[FrozenSet[str], FrozenSet[str]]]:
+    """(event names, metric names) from ``obs/registry.py``, if linted.
+
+    Returns ``None`` when the registry module is not part of this run
+    (partial lint), in which case the rule is skipped entirely.
+    """
+    registry = next(
+        (m for m in modules if Path(m.rel).name == "registry.py"
+         and "obs" in Path(m.rel).parts),
+        None,
+    )
+    if registry is None:
+        return None
+    names: Dict[str, Set[str]] = {"EVENTS": set(), "METRICS": set()}
+    for node in ast.walk(registry.tree):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id in names
+                and isinstance(value, ast.Dict)
+            ):
+                for key in value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str
+                    ):
+                        names[target.id].add(key.value)
+    return frozenset(names["EVENTS"]), frozenset(names["METRICS"])
+
+
+def _literal_first_arg(node: ast.Call) -> Optional[str]:
+    if node.args and isinstance(node.args[0], ast.Constant) and isinstance(
+        node.args[0].value, str
+    ):
+        return node.args[0].value
+    return None
+
+
+def _is_metrics_receiver(func: ast.Attribute) -> bool:
+    """``metrics.counter(...)`` or ``<x>.metrics.counter(...)``."""
+    base = func.value
+    if isinstance(base, ast.Name):
+        return base.id == "metrics" or base.id.endswith("_metrics")
+    if isinstance(base, ast.Attribute):
+        return base.attr == "metrics"
+    return False
+
+
+def _check_undeclared_obs_name(
+    module: _Module, events: FrozenSet[str], metrics: FrozenSet[str]
+) -> Iterator[Finding]:
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call) or not isinstance(
+            node.func, ast.Attribute
+        ):
+            continue
+        func = node.func
+        name = _literal_first_arg(node)
+        if name is None:
+            continue
+        if func.attr in _EMIT_METHODS:
+            if name not in events and not _suppressed(
+                module, node.lineno, "undeclared-obs-name"
+            ):
+                yield Finding(
+                    str(module.path),
+                    node.lineno,
+                    node.col_offset,
+                    "undeclared-obs-name",
+                    f"trace event {name!r} is not declared in "
+                    f"obs/registry.py EVENTS",
+                )
+        elif func.attr in _METRIC_METHODS and _is_metrics_receiver(func):
+            if name not in metrics and not _suppressed(
+                module, node.lineno, "undeclared-obs-name"
+            ):
+                yield Finding(
+                    str(module.path),
+                    node.lineno,
+                    node.col_offset,
+                    "undeclared-obs-name",
+                    f"metric {name!r} is not declared in "
+                    f"obs/registry.py METRICS",
+                )
+
+
 # -- driver -----------------------------------------------------------------
 
 
@@ -507,6 +621,7 @@ def run_lint(paths: Iterable[str]) -> List[Finding]:
     """Lint every ``.py`` file under ``paths``; returns sorted findings."""
     modules, findings = _load(_collect_files(paths))
     declared = _declared_stats(modules)
+    obs_names = _declared_obs_names(modules)
     for module in modules:
         for finding in _check_enum_dispatch(module):
             if not _suppressed(module, finding.line, finding.rule):
@@ -515,6 +630,10 @@ def run_lint(paths: Iterable[str]) -> List[Finding]:
         findings.extend(_check_unordered_iteration(module))
         if declared is not None:
             findings.extend(_check_undeclared_stat(module, declared))
+        if obs_names is not None:
+            findings.extend(
+                _check_undeclared_obs_name(module, obs_names[0], obs_names[1])
+            )
     findings.extend(_scheme_findings(modules))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

@@ -6,6 +6,8 @@ from repro.analysis import (
     average_invalidations,
     figure2_series,
     format_histogram,
+    format_metrics_report,
+    format_profile,
     format_series,
     format_table,
     normalized,
@@ -99,3 +101,32 @@ class TestReport:
     def test_normalized_missing_baseline(self):
         with pytest.raises(KeyError):
             normalized({"a": 1.0}, baseline="b")
+
+    def test_format_metrics_report(self):
+        out = format_metrics_report({
+            "schema": 1,
+            "counters": {"retries": 3},
+            "gauges": {"dir_occupancy_peak": 7.0},
+            "histograms": {
+                "msg_latency": {
+                    "count": 2, "total": 48.0, "mean": 24.0,
+                    "buckets": {"32": 2},
+                },
+            },
+        })
+        assert "retries" in out
+        assert "dir_occupancy_peak" in out
+        assert "msg_latency" in out
+        bucket_rows = [l for l in out.splitlines() if l.startswith("  <")]
+        assert len(bucket_rows) == 1 and "32" in bucket_rows[0]
+        assert "#" in bucket_rows[0]  # the bar
+
+    def test_format_metrics_report_empty(self):
+        out = format_metrics_report({"schema": 1})
+        assert "no metrics" in out
+
+    def test_format_profile(self):
+        out = format_profile([["run", 1.5, 1000, 666.7, 42]])
+        header, row = out.splitlines()[0], out.splitlines()[2]
+        assert "phase" in header and "events/s" in header
+        assert "run" in row and "1,000" in row

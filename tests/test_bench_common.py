@@ -38,7 +38,9 @@ class TestSaveResults:
         monkeypatch.setattr(common, "RESULTS_DIR", tmp_path)
         path = common.save_results("unit", {"x": 1, "y": [2, 3]})
         assert path == tmp_path / "unit.json"
-        assert json.loads(path.read_text()) == {"x": 1, "y": [2, 3]}
+        record = json.loads(path.read_text())
+        assert record == {"schema": common.RESULTS_SCHEMA, "x": 1, "y": [2, 3]}
+        assert list(record)[0] == "schema"  # header leads the file
 
     def test_stats_summary_fields(self):
         cfg = MachineConfig(num_clusters=4, l1_bytes=64, l2_bytes=256)

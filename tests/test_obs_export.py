@@ -1,0 +1,160 @@
+"""JSONL and Chrome trace_event exporters round-trip exactly."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    export_trace,
+    read_chrome_trace,
+    read_jsonl,
+    read_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.registry import TRACE_SCHEMA
+from repro.obs.tracer import TraceEvent, Tracer
+
+
+def sample_events():
+    return [
+        TraceEvent("txn.read", 10.0, kind="span", dur=23.0,
+                   comp="directory", tid=3, args={"block": 7}),
+        TraceEvent("wb.issue", 15.0, comp="cluster", tid=1),
+        TraceEvent("dir.occupancy", 20.0, kind="counter",
+                   comp="directory", tid=3, args={"value": 4.0}),
+        TraceEvent("net.msg", 21.0, kind="span", dur=40.0,
+                   comp="network", tid=0),
+    ]
+
+
+class TestJsonl:
+    def test_roundtrip_exact(self, tmp_path):
+        path = write_jsonl(sample_events(), tmp_path / "t.jsonl",
+                           meta={"app": "unit"})
+        assert read_jsonl(path) == sample_events()
+
+    def test_header_carries_schema_and_meta(self, tmp_path):
+        path = write_jsonl(sample_events(), tmp_path / "t.jsonl",
+                           meta={"app": "unit"})
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["schema"] == TRACE_SCHEMA
+        assert header["kind"] == "repro-trace"
+        assert header["app"] == "unit"
+
+    def test_rejects_newer_schema(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps(
+            {"schema": TRACE_SCHEMA + 1, "kind": "repro-trace"}) + "\n")
+        with pytest.raises(ValueError, match="unsupported trace schema"):
+            read_jsonl(path)
+
+    def test_rejects_headerless_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"name": "x", "ts": 1}\n')
+        with pytest.raises(ValueError, match="header"):
+            read_jsonl(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_jsonl(path)
+
+
+class TestChrome:
+    def test_roundtrip_exact(self, tmp_path):
+        path = write_chrome_trace(sample_events(), tmp_path / "t.json")
+        assert read_chrome_trace(path) == sample_events()
+
+    def test_phases_and_process_metadata(self):
+        doc = to_chrome_trace(sample_events())
+        records = doc["traceEvents"]
+        phases = [r["ph"] for r in records]
+        # one process_name metadata record per distinct component
+        assert phases.count("M") == 3
+        assert phases.count("X") == 2  # the two spans
+        assert phases.count("i") == 1
+        assert phases.count("C") == 1
+        names = {r["args"]["name"] for r in records if r["ph"] == "M"}
+        assert names == {"directory", "cluster", "network"}
+        span = next(r for r in records if r["ph"] == "X")
+        assert span["dur"] == 23.0 and span["ts"] == 10.0
+
+    def test_schema_in_other_data(self):
+        doc = to_chrome_trace([])
+        assert doc["otherData"]["schema"] == TRACE_SCHEMA
+
+    def test_rejects_newer_schema(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({
+            "traceEvents": [],
+            "otherData": {"schema": TRACE_SCHEMA + 1},
+        }))
+        with pytest.raises(ValueError, match="unsupported trace schema"):
+            read_chrome_trace(path)
+
+    def test_rejects_unknown_phase(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps({
+            "traceEvents": [{"name": "x", "ph": "Z", "ts": 0}],
+        }))
+        with pytest.raises(ValueError, match="unsupported trace phase"):
+            read_chrome_trace(path)
+
+    def test_rejects_non_trace_object(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="not a Chrome trace_event"):
+            read_chrome_trace(path)
+
+
+class TestSniffing:
+    def test_read_trace_detects_jsonl(self, tmp_path):
+        path = write_jsonl(sample_events(), tmp_path / "t.jsonl")
+        assert read_trace(path) == sample_events()
+
+    def test_read_trace_detects_pretty_chrome(self, tmp_path):
+        # write_chrome_trace pretty-prints, so line one is just "{"
+        path = write_chrome_trace(sample_events(), tmp_path / "t.json")
+        assert read_trace(path) == sample_events()
+
+    def test_read_trace_detects_compact_chrome(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(to_chrome_trace(sample_events())))
+        assert read_trace(path) == sample_events()
+
+    def test_read_trace_rejects_garbage(self, tmp_path):
+        path = tmp_path / "t.json"
+        path.write_text("not a trace\n")
+        with pytest.raises(ValueError, match="unrecognized"):
+            read_trace(path)
+
+
+class TestExportTrace:
+    def _tracer(self):
+        t = Tracer()
+        for ev in sample_events():
+            t.emit(ev.name, ts=ev.ts, dur=ev.dur, kind=ev.kind,
+                   comp=ev.comp, tid=ev.tid, args=ev.args)
+        return t
+
+    def test_chrome_default(self, tmp_path):
+        path = export_trace(self._tracer(), tmp_path / "t.json")
+        assert read_trace(path) == sample_events()
+
+    def test_jsonl_format(self, tmp_path):
+        path = export_trace(self._tracer(), tmp_path / "t.jsonl",
+                            fmt="jsonl")
+        assert read_trace(path) == sample_events()
+
+    def test_dropped_count_in_meta(self, tmp_path):
+        path = export_trace(self._tracer(), tmp_path / "t.jsonl",
+                            fmt="jsonl")
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["dropped"] == 0
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            export_trace(self._tracer(), tmp_path / "t.bin", fmt="bin")

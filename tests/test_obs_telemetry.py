@@ -1,0 +1,81 @@
+"""BENCH_*.json envelope, writer, and loader."""
+
+import json
+
+import pytest
+
+from repro.obs.telemetry import (
+    BENCH_SCHEMA,
+    bench_envelope,
+    host_info,
+    load_bench,
+    peak_rss_bytes,
+    write_bench,
+)
+
+
+class TestEnvelope:
+    def test_mapping_results(self):
+        env = bench_envelope("unit", {"events_per_s": 1000.0})
+        assert env["schema"] == BENCH_SCHEMA
+        assert env["bench"] == "unit"
+        assert env["quick"] is False
+        assert env["results"] == {"events_per_s": 1000.0}
+
+    def test_list_results(self):
+        rows = [{"scheme": "full", "events_per_s": 1.0}]
+        env = bench_envelope("unit", rows)
+        assert env["results"] == rows
+
+    def test_extra_fields_merge(self):
+        env = bench_envelope("unit", {}, quick=True,
+                             extra={"workload": "mp3d"})
+        assert env["quick"] is True
+        assert env["workload"] == "mp3d"
+
+    def test_host_and_rss_present(self):
+        env = bench_envelope("unit", {})
+        assert env["host"]["cpus"] >= 1
+        assert env["peak_rss_bytes"] > 0
+
+    def test_json_serializable(self):
+        json.dumps(bench_envelope("unit", {"x": 1}))
+
+
+class TestHostFacts:
+    def test_host_info_shape(self):
+        info = host_info()
+        assert {"platform", "python", "implementation", "cpus"} <= set(info)
+
+    def test_peak_rss_is_plausible(self):
+        rss = peak_rss_bytes()
+        # a running CPython process occupies at least a few MB
+        assert rss > 1 << 20
+
+
+class TestWriteAndLoad:
+    def test_roundtrip(self, tmp_path):
+        path = write_bench("throughput", [{"scheme": "full"}],
+                           root=tmp_path, quick=True)
+        assert path == tmp_path / "BENCH_throughput.json"
+        data = load_bench(path)
+        assert data["schema"] == BENCH_SCHEMA
+        assert data["quick"] is True
+        assert data["results"] == [{"scheme": "full"}]
+
+    def test_load_rejects_newer_schema(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps(
+            {"schema": BENCH_SCHEMA + 1, "results": {}}))
+        with pytest.raises(ValueError, match="unsupported bench schema"):
+            load_bench(path)
+
+    def test_load_rejects_missing_results(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"schema": BENCH_SCHEMA}))
+        with pytest.raises(ValueError, match="missing 'results'"):
+            load_bench(path)
+
+    def test_creates_root_directory(self, tmp_path):
+        path = write_bench("x", {}, root=tmp_path / "deep" / "er")
+        assert path.exists()

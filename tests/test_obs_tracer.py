@@ -1,0 +1,199 @@
+"""Tracer ring buffer, null twin, and metric instruments."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Log2Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    histogram_delta,
+    load_metrics_dict,
+)
+from repro.obs.registry import METRICS_SCHEMA
+from repro.obs.tracer import (
+    COUNTER,
+    INSTANT,
+    NULL_TRACER,
+    SPAN,
+    NullTracer,
+    Tracer,
+)
+
+
+class TestTracer:
+    def test_emit_span_and_instant_kinds(self):
+        t = Tracer()
+        t.emit("txn.read", ts=10.0, dur=5.0, comp="directory", tid=2)
+        t.emit("wb.issue", ts=12.0, comp="cluster")
+        span, instant = t.events()
+        assert span.kind == SPAN and span.dur == 5.0 and span.tid == 2
+        assert instant.kind == INSTANT and instant.dur is None
+
+    def test_emit_counter_kind_carries_value(self):
+        t = Tracer()
+        t.emit_counter("dir.occupancy", ts=3.0, value=17.0, comp="directory")
+        (ev,) = t.events()
+        assert ev.kind == COUNTER
+        assert ev.args == {"value": 17.0}
+
+    def test_emit_now_uses_bound_clock(self):
+        t = Tracer()
+        now = [0.0]
+        t.bind_clock(lambda: now[0])
+        now[0] = 42.0
+        t.emit_now("wb.issue")
+        assert t.events()[0].ts == 42.0
+
+    def test_strict_rejects_undeclared_name(self):
+        t = Tracer(strict=True)
+        with pytest.raises(ValueError, match="not declared"):
+            t.emit("no.such.event", ts=0.0)
+
+    def test_non_strict_accepts_any_name(self):
+        t = Tracer(strict=False)
+        t.emit("experimental.event", ts=0.0)
+        assert t.counts["experimental.event"] == 1
+
+    def test_ring_wraparound_keeps_exact_tallies(self):
+        t = Tracer(capacity=4)
+        for i in range(10):
+            t.emit("wb.issue", ts=float(i), comp="cluster")
+        assert len(t) == 4
+        assert t.emitted == 10
+        assert t.dropped == 6
+        assert t.counts["wb.issue"] == 10  # tallies survive the ring
+        assert t.comp_counts["cluster"] == 10
+        # the retained window is the newest events, oldest first
+        assert [ev.ts for ev in t.events()] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Tracer(capacity=0)
+
+    def test_summary_shape(self):
+        t = Tracer()
+        t.emit("txn.read", ts=0.0, dur=1.0, comp="directory")
+        t.emit("wb.issue", ts=1.0, comp="cluster")
+        s = t.summary()
+        assert s["emitted"] == 2 and s["retained"] == 2 and s["dropped"] == 0
+        assert s["by_name"] == {"txn.read": 1, "wb.issue": 1}
+        assert s["by_component"] == {"cluster": 1, "directory": 1}
+
+
+class TestNullTracer:
+    def test_shared_singleton_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_all_operations_noop(self):
+        n = NullTracer()
+        n.bind_clock(lambda: 99.0)
+        n.emit("anything", ts=1.0)
+        n.emit_now("anything")
+        n.emit_counter("anything", ts=1.0, value=2.0)
+        assert n.now() == 0.0
+        assert len(n) == 0 and n.events() == [] and n.dropped == 0
+        assert list(n) == []
+        assert n.summary()["emitted"] == 0
+
+    def test_null_metrics_discard(self):
+        m = NULL_TRACER.metrics
+        m.counter("x").inc()
+        m.gauge("x").set_max(5.0)
+        m.histogram("x").observe(3.0)
+        assert m.empty is True
+        assert m.to_dict()["counters"] == {}
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_and_set_max(self):
+        g = Gauge()
+        g.set(3.0)
+        g.set_max(1.0)  # lower: keeps 3.0
+        assert g.value == 3.0
+        g.set_max(7.0)
+        assert g.value == 7.0
+
+    def test_log2_histogram_bucketing(self):
+        h = Log2Histogram()
+        for v in (0, 0.5, 1, 2, 3, 4, 100):
+            h.observe(v)
+        # v < 1 -> bucket 0 (ub 1); 1 -> ub 2; 2,3 -> ub 4; 4 -> ub 8;
+        # 100 -> ub 128
+        assert dict(h.items()) == {1: 2, 2: 1, 4: 2, 8: 1, 128: 1}
+        assert h.count == 7
+        assert h.mean == pytest.approx(110.5 / 7)
+
+    def test_log2_histogram_to_dict(self):
+        h = Log2Histogram()
+        h.observe(20)
+        d = h.to_dict()
+        assert d["count"] == 1 and d["buckets"] == {"32": 1}
+
+
+class TestMetricsRegistry:
+    def test_lazy_creation_and_reuse(self):
+        m = MetricsRegistry()
+        assert m.empty is True
+        h = m.histogram("msg_latency")
+        assert m.histogram("msg_latency") is h
+        assert m.empty is False
+
+    def test_strict_rejects_undeclared(self):
+        m = MetricsRegistry(strict=True)
+        with pytest.raises(ValueError, match="not declared"):
+            m.counter("no_such_metric")
+
+    def test_to_dict_versioned_and_sorted(self):
+        m = MetricsRegistry()
+        m.counter("retries").inc(2)
+        m.gauge("dir_occupancy_peak").set_max(9.0)
+        m.histogram("msg_latency").observe(12.0)
+        d = m.to_dict()
+        assert d["schema"] == METRICS_SCHEMA
+        assert d["counters"] == {"retries": 2}
+        assert d["gauges"] == {"dir_occupancy_peak": 9.0}
+        assert d["histograms"]["msg_latency"]["count"] == 1
+
+    def test_load_metrics_dict_roundtrip(self):
+        m = MetricsRegistry()
+        m.histogram("msg_latency").observe(5.0)
+        out = load_metrics_dict(m.to_dict())
+        assert out["histograms"]["msg_latency"]["count"] == 1
+
+    def test_load_metrics_dict_rejects_newer(self):
+        with pytest.raises(ValueError, match="unsupported metrics schema"):
+            load_metrics_dict({"schema": METRICS_SCHEMA + 1})
+
+    def test_null_metrics_to_dict_empty(self):
+        d = NullMetrics().to_dict()
+        assert d == {
+            "schema": METRICS_SCHEMA,
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestHistogramDelta:
+    def test_bucketwise_difference(self):
+        a = {"count": 3, "mean": 2.0, "buckets": {"2": 1, "4": 2}}
+        b = {"count": 5, "mean": 4.0, "buckets": {"4": 3, "8": 2}}
+        d = histogram_delta(a, b)
+        assert d["count"] == 2
+        assert d["buckets"] == {"2": -1, "4": 1, "8": 2}
+        assert d["mean_a"] == 2.0 and d["mean_b"] == 4.0
+
+    def test_empty_inputs(self):
+        d = histogram_delta({}, {})
+        assert d["count"] == 0 and d["buckets"] == {}

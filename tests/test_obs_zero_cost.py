@@ -1,0 +1,60 @@
+"""Tracing off must be free: untraced stats are byte-identical.
+
+This is the acceptance guard for the observability layer: every hook in
+the machine code gates on ``tracer.enabled``, so a run without a tracer
+attached must produce exactly the statistics it produced before the
+hooks existed — same dict, same JSON bytes — and a traced run must
+change nothing except adding the ``metrics`` block.
+"""
+
+import json
+
+from repro.apps import MP3DWorkload
+from repro.machine.config import MachineConfig
+from repro.machine.system import DashSystem
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+
+def _config(seed=0):
+    return MachineConfig(num_clusters=4, scheme="Dir2CV2", seed=seed)
+
+
+def _workload(seed=0):
+    return MP3DWorkload(4, num_particles=16, steps=1, seed=seed)
+
+
+def _run(obs=None):
+    system = DashSystem(_config(), _workload(), obs=obs)
+    system.run()
+    return system
+
+
+class TestZeroCost:
+    def test_untraced_stats_identical_to_traced_minus_metrics(self):
+        plain = _run().stats.to_dict()
+        traced = _run(obs=Tracer()).stats.to_dict()
+        assert "metrics" not in plain
+        assert "metrics" in traced
+        traced.pop("metrics")
+        assert traced == plain
+
+    def test_untraced_json_bytes_stable(self):
+        a = json.dumps(_run().stats.to_dict(), sort_keys=True)
+        b = json.dumps(_run().stats.to_dict(), sort_keys=True)
+        assert a == b
+
+    def test_default_tracer_is_the_null_singleton(self):
+        system = DashSystem(_config(), _workload())
+        assert system.obs is NULL_TRACER
+        assert system.stats.metrics is None
+
+    def test_traced_run_attaches_metrics(self):
+        tracer = Tracer()
+        system = DashSystem(_config(), _workload(), obs=tracer)
+        system.run()
+        assert system.stats.metrics is tracer.metrics
+        assert tracer.emitted > 0
+        assert not tracer.metrics.empty
+
+    def test_traced_run_same_simulated_time(self):
+        assert _run().stats.exec_time == _run(obs=Tracer()).stats.exec_time

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.analysis.sweeps import Sweep
+from repro.analysis.sweeps import Sweep, load_results_dict, load_stats_dict
+from repro.machine.stats import STATS_SCHEMA
 from repro.apps import UniformRandomWorkload
 from repro.machine import MachineConfig
 
@@ -91,3 +92,52 @@ class TestSweep:
             return sweep.run().points[0].metric("total_messages")
 
         assert run_once() == run_once()
+
+
+class TestSchemaLoaders:
+    def test_stats_v1_unversioned_upgrades(self):
+        out = load_stats_dict({"exec_time": 100, "total_messages": 5})
+        assert out["schema"] == STATS_SCHEMA
+        assert out["exec_time"] == 100
+        assert list(out)[0] == "schema"
+
+    def test_stats_v2_passes_through(self):
+        out = load_stats_dict({"schema": 2, "exec_time": 100})
+        assert out == {"schema": STATS_SCHEMA, "exec_time": 100}
+
+    def test_stats_newer_schema_rejected(self):
+        with pytest.raises(ValueError, match="unsupported stats schema"):
+            load_stats_dict({"schema": STATS_SCHEMA + 1})
+
+    def test_stats_bogus_schema_rejected(self):
+        with pytest.raises(ValueError):
+            load_stats_dict({"schema": "two"})
+
+    def test_stats_roundtrips_live_output(self):
+        sweep = make_sweep()
+        sweep.add_axis("scheme", ["full"])
+        stats = sweep.run().points[0].stats
+        out = load_stats_dict(stats.to_dict())
+        assert out["schema"] == STATS_SCHEMA
+        assert out["exec_time"] == stats.exec_time
+
+    def test_results_v1_header_free(self):
+        assert load_results_dict({"rows": [1, 2]}) == {"rows": [1, 2]}
+
+    def test_results_v2_header_stripped(self):
+        assert load_results_dict({"schema": 2, "rows": [1]}) == {"rows": [1]}
+
+    def test_results_newer_schema_rejected(self):
+        with pytest.raises(ValueError, match="unsupported results schema"):
+            load_results_dict({"schema": 99})
+
+    def test_results_on_disk_files_load(self):
+        import json
+        from pathlib import Path
+
+        results = Path(__file__).resolve().parent.parent / "results"
+        for path in sorted(results.glob("*.json")):
+            data = json.loads(path.read_text())
+            assert data.get("schema") == 2, path.name
+            body = load_results_dict(data)
+            assert "schema" not in body

@@ -230,6 +230,112 @@ def test_undeclared_counter_is_flagged(tmp_path):
     assert "bogus" in findings[0].message
 
 
+# -- undeclared-obs-name ----------------------------------------------------
+
+_OBS_REGISTRY = (
+    "EVENTS = {'txn.read': 'read span', 'wb.issue': 'writeback'}\n"
+    "METRICS = {'msg_latency': 'latency histogram'}\n"
+)
+
+
+def test_undeclared_event_name_is_flagged(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "obs/registry.py": _OBS_REGISTRY,
+        "machine/hooks.py": (
+            "def f(tracer):\n"
+            "    tracer.emit_now('not.declared')\n"
+        ),
+    })
+    assert _rules(findings) == ["undeclared-obs-name"]
+    assert "not.declared" in findings[0].message
+
+
+def test_declared_event_name_passes(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "obs/registry.py": _OBS_REGISTRY,
+        "machine/hooks.py": (
+            "def f(tracer, now):\n"
+            "    tracer.emit('txn.read', ts=now)\n"
+            "    tracer.emit_now('wb.issue')\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_annotated_registry_declarations_count(tmp_path):
+    # the shipped registry uses annotated assignments (EVENTS: Dict[...])
+    findings = _lint_tree(tmp_path, {
+        "obs/registry.py": (
+            "from typing import Dict\n"
+            "EVENTS: Dict[str, str] = {'txn.read': 'read span'}\n"
+            "METRICS: Dict[str, str] = {'msg_latency': 'latency'}\n"
+        ),
+        "machine/hooks.py": (
+            "def f(tracer):\n"
+            "    tracer.emit_now('txn.read')\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_undeclared_metric_name_is_flagged(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "obs/registry.py": _OBS_REGISTRY,
+        "machine/hooks.py": (
+            "def f(self, v):\n"
+            "    self.metrics.histogram('bogus_latency').observe(v)\n"
+        ),
+    })
+    assert _rules(findings) == ["undeclared-obs-name"]
+    assert "bogus_latency" in findings[0].message
+
+
+def test_declared_metric_name_passes(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "obs/registry.py": _OBS_REGISTRY,
+        "machine/hooks.py": (
+            "def f(self, v):\n"
+            "    self.metrics.histogram('msg_latency').observe(v)\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_dynamic_obs_names_are_left_to_runtime(tmp_path):
+    # f-strings cannot be checked statically; the strict tracer covers them
+    findings = _lint_tree(tmp_path, {
+        "obs/registry.py": _OBS_REGISTRY,
+        "machine/hooks.py": (
+            "def f(tracer, kind, now):\n"
+            "    tracer.emit(f'txn.{kind}', ts=now)\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_obs_rule_inactive_without_registry(tmp_path):
+    # fixture trees for other rules never declare obs/registry.py and
+    # must not start failing because of the obs rule
+    findings = _lint_tree(tmp_path, {
+        "machine/hooks.py": (
+            "def f(tracer):\n"
+            "    tracer.emit_now('anything.goes')\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_obs_name_suppression(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "obs/registry.py": _OBS_REGISTRY,
+        "machine/hooks.py": (
+            "def f(tracer):\n"
+            "    tracer.emit_now('x.y')  # lint: ignore[undeclared-obs-name]\n"
+        ),
+    })
+    assert findings == []
+
+
 # -- suppression and the shipped tree ---------------------------------------
 
 
@@ -278,6 +384,7 @@ def test_every_rule_has_a_catalog_entry():
         "unordered-iteration",
         "unregistered-scheme",
         "undeclared-stat",
+        "undeclared-obs-name",
     }
 
 
