@@ -1,6 +1,11 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-perf examples results clean
+.PHONY: install test bench bench-perf bench-perf-quick examples results clean
+
+# parallel workers for the `results` regeneration (see docs/parallelism.md)
+JOBS ?= 1
+# optional content-addressed result cache directory ("" = no caching)
+CACHE_DIR ?=
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -15,11 +20,18 @@ bench:
 bench-perf:
 	PYTHONPATH=src python benchmarks/bench_simulator_throughput.py
 
-# regenerate every table/figure report (and results/*.json)
+# CI perf-regression gate input: smaller workload, same envelope
+bench-perf-quick:
+	PYTHONPATH=src python benchmarks/bench_simulator_throughput.py --quick
+
+# regenerate every table/figure report (and results/*.json);
+# e.g.  make results JOBS=4 CACHE_DIR=.repro-cache
 results:
 	for b in benchmarks/bench_fig*.py benchmarks/bench_table*.py \
 	         benchmarks/bench_ablation_*.py; do \
-	    echo "== $$b =="; python $$b || exit 1; \
+	    echo "== $$b =="; \
+	    python $$b --jobs $(JOBS) \
+	        $(if $(CACHE_DIR),--cache-dir $(CACHE_DIR),) || exit 1; \
 	done
 
 examples:

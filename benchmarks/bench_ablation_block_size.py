@@ -19,7 +19,12 @@ Run standalone:  python benchmarks/bench_ablation_block_size.py
 from repro.analysis import format_table
 from repro.apps import MP3DWorkload
 from repro.core import full_vector_overhead
-from repro.machine import MachineConfig, run_workload
+from repro.machine import MachineConfig
+
+try:
+    from benchmarks.common import bench_entry, run_grid
+except ImportError:  # standalone script
+    from common import bench_entry, run_grid
 
 PROCS = 16
 BLOCKS = [16, 32, 64, 128]
@@ -27,14 +32,16 @@ BLOCKS = [16, 32, 64, 128]
 
 def compute():
     overheads = {b: full_vector_overhead(PROCS, b) for b in BLOCKS}
-    sims = {}
-    for b in BLOCKS:
-        wl = MP3DWorkload(
+    def factory(b):
+        return lambda: MP3DWorkload(
             PROCS, num_particles=320, space_cells=64, steps=4,
             block_bytes=b, seed=2,
         )
-        cfg = MachineConfig(num_clusters=PROCS, block_bytes=b)
-        sims[b] = run_workload(cfg, wl)
+
+    sims = run_grid({
+        b: (MachineConfig(num_clusters=PROCS, block_bytes=b), factory(b))
+        for b in BLOCKS
+    })
     return overheads, sims
 
 
@@ -79,4 +86,4 @@ def test_block_size(benchmark):
 
 
 if __name__ == "__main__":
-    report()
+    raise SystemExit(bench_entry(report, description=__doc__))

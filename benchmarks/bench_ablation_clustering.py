@@ -23,7 +23,12 @@ Run standalone:  python benchmarks/bench_ablation_clustering.py
 from repro.analysis import format_table
 from repro.apps import MultiprogrammedWorkload
 from repro.core import make_scheme
-from repro.machine import MachineConfig, run_workload
+from repro.machine import MachineConfig
+
+try:
+    from benchmarks.common import bench_entry, run_grid
+except ImportError:  # standalone script
+    from common import bench_entry, run_grid
 
 PROCESSORS = 32
 SHAPES = [(32, 1), (16, 2), (8, 4)]  # (clusters, procs per cluster)
@@ -44,13 +49,15 @@ def build():
 
 
 def compute():
-    results = {}
-    for clusters, per in SHAPES:
-        cfg = MachineConfig(
-            num_clusters=clusters, procs_per_cluster=per, scheme="full"
+    return run_grid({
+        (clusters, per): (
+            MachineConfig(
+                num_clusters=clusters, procs_per_cluster=per, scheme="full"
+            ),
+            build,
         )
-        results[(clusters, per)] = run_workload(cfg, build(), check=True)
-    return results
+        for clusters, per in SHAPES
+    }, check=True)
 
 
 def check(results) -> None:
@@ -93,4 +100,4 @@ def test_clustering(benchmark):
 
 
 if __name__ == "__main__":
-    report()
+    raise SystemExit(bench_entry(report, description=__doc__))

@@ -22,16 +22,21 @@ try:
 except ImportError:  # running as a standalone script
     from paperconfig import APPS, machine
 from repro.analysis import format_table
-from repro.machine import run_workload
+try:
+    from benchmarks.common import bench_entry, run_grid
+except ImportError:  # standalone script
+    from common import bench_entry, run_grid
 
 
 def compute():
-    results = {}
-    for app, build in APPS.items():
-        sc = run_workload(machine("full"), build())
-        rc = run_workload(machine("full", release_consistency=True), build())
-        results[app] = (sc, rc)
-    return results
+    flat = run_grid({
+        (app, rc): (machine("full", release_consistency=rc), build)
+        for app, build in APPS.items()
+        for rc in (False, True)
+    })
+    return {
+        app: (flat[(app, False)], flat[(app, True)]) for app in APPS
+    }
 
 
 def check(results) -> None:
@@ -75,4 +80,4 @@ def test_consistency(benchmark):
 
 
 if __name__ == "__main__":
-    report()
+    raise SystemExit(bench_entry(report, description=__doc__))

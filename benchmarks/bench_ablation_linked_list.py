@@ -14,7 +14,12 @@ Run standalone:  python benchmarks/bench_ablation_linked_list.py
 
 from repro.analysis import format_table
 from repro.apps import SharingDegreeWorkload
-from repro.machine import MachineConfig, run_workload
+from repro.machine import MachineConfig
+
+try:
+    from benchmarks.common import bench_entry, run_grid
+except ImportError:  # standalone script
+    from common import bench_entry, run_grid
 
 PROCS = 32
 DEGREES = [2, 6, 12]
@@ -27,12 +32,16 @@ def build(degree):
 
 
 def compute():
-    results = {}
-    for degree in DEGREES:
-        for scheme in ("full", "DirLL"):
-            cfg = MachineConfig(num_clusters=PROCS, scheme=scheme)
-            results[(scheme, degree)] = run_workload(cfg, build(degree))
-    return results
+    def factory(degree):
+        return lambda: build(degree)
+
+    return run_grid({
+        (scheme, degree): (
+            MachineConfig(num_clusters=PROCS, scheme=scheme), factory(degree)
+        )
+        for degree in DEGREES
+        for scheme in ("full", "DirLL")
+    })
 
 
 def check(results) -> None:
@@ -81,4 +90,4 @@ def test_linked_list(benchmark):
 
 
 if __name__ == "__main__":
-    report()
+    raise SystemExit(bench_entry(report, description=__doc__))

@@ -22,7 +22,12 @@ Run standalone:  python benchmarks/bench_ablation_lock_grant.py
 from typing import Iterator
 
 from repro.analysis import format_table
-from repro.machine import MachineConfig, run_workload
+from repro.machine import MachineConfig
+
+try:
+    from benchmarks.common import bench_entry, run_grid
+except ImportError:  # standalone script
+    from common import bench_entry, run_grid
 from repro.trace.event import Lock, TraceOp, Unlock, Work
 from repro.trace.workload import Workload
 
@@ -57,9 +62,13 @@ def compute():
         "wake everyone (Dir3CV16)": dict(scheme="Dir3CV16",
                                          coarse_lock_grant=True),
     }
-    for label, overrides in cases.items():
-        cfg = MachineConfig(num_clusters=PROCS, **overrides)
-        results[label] = run_workload(cfg, LockContentionWorkload(PROCS))
+    results = run_grid({
+        label: (
+            MachineConfig(num_clusters=PROCS, **overrides),
+            lambda: LockContentionWorkload(PROCS),
+        )
+        for label, overrides in cases.items()
+    })
     return results
 
 
@@ -90,4 +99,4 @@ def test_lock_grant(benchmark):
 
 
 if __name__ == "__main__":
-    report()
+    raise SystemExit(bench_entry(report, description=__doc__))

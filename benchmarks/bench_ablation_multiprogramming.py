@@ -21,7 +21,12 @@ Run standalone:  python benchmarks/bench_ablation_multiprogramming.py
 
 from repro.analysis import format_table
 from repro.apps import MultiprogrammedWorkload
-from repro.machine import MachineConfig, run_workload
+from repro.machine import MachineConfig
+
+try:
+    from benchmarks.common import bench_entry, run_grid
+except ImportError:  # standalone script
+    from common import bench_entry, run_grid
 
 PROCS = 32
 PARTITIONS = 4  # each partition = 8 clusters = one Dir3CV8 region
@@ -40,13 +45,16 @@ def build(scatter):
 
 
 def compute():
-    results = {}
-    for scheme in ("full", "Dir3CV8"):
-        for scatter in (False, True):
-            cfg = MachineConfig(num_clusters=PROCS, scheme=scheme)
-            key = (scheme, "scattered" if scatter else "aligned")
-            results[key] = run_workload(cfg, build(scatter))
-    return results
+    def factory(scatter):
+        return lambda: build(scatter)
+
+    return run_grid({
+        (scheme, "scattered" if scatter else "aligned"): (
+            MachineConfig(num_clusters=PROCS, scheme=scheme), factory(scatter)
+        )
+        for scheme in ("full", "Dir3CV8")
+        for scatter in (False, True)
+    })
 
 
 def check(results) -> None:
@@ -82,4 +90,4 @@ def test_multiprogramming(benchmark):
 
 
 if __name__ == "__main__":
-    report()
+    raise SystemExit(bench_entry(report, description=__doc__))

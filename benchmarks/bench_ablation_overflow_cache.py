@@ -18,7 +18,12 @@ Run standalone:  python benchmarks/bench_ablation_overflow_cache.py
 
 from repro.analysis import format_table
 from repro.apps import SharingDegreeWorkload
-from repro.machine import MachineConfig, run_workload
+from repro.machine import MachineConfig
+
+try:
+    from benchmarks.common import bench_entry, run_grid
+except ImportError:  # standalone script
+    from common import bench_entry, run_grid
 
 PROCS = 32
 HOT_BLOCKS = 32
@@ -32,13 +37,11 @@ def build():
 
 
 def compute():
-    results = {}
-    for scheme in ["full", "Dir3CV2", "Dir3B"] + [
-        f"Dir3OF{c}" for c in CAPACITIES
-    ]:
-        cfg = MachineConfig(num_clusters=PROCS, scheme=scheme)
-        results[scheme] = run_workload(cfg, build())
-    return results
+    return run_grid({
+        scheme: (MachineConfig(num_clusters=PROCS, scheme=scheme), build)
+        for scheme in ["full", "Dir3CV2", "Dir3B"]
+        + [f"Dir3OF{c}" for c in CAPACITIES]
+    })
 
 
 def check(results) -> None:
@@ -75,4 +78,4 @@ def test_overflow_cache(benchmark):
 
 
 if __name__ == "__main__":
-    report()
+    raise SystemExit(bench_entry(report, description=__doc__))

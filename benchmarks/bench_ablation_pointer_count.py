@@ -15,7 +15,12 @@ Run standalone:  python benchmarks/bench_ablation_pointer_count.py
 from repro.analysis import format_table
 from repro.apps import SharingDegreeWorkload
 from repro.core import make_scheme
-from repro.machine import MachineConfig, run_workload
+from repro.machine import MachineConfig
+
+try:
+    from benchmarks.common import bench_entry, run_grid
+except ImportError:  # standalone script
+    from common import bench_entry, run_grid
 
 PROCS = 32
 POINTERS = [1, 2, 3, 4, 6]
@@ -29,14 +34,12 @@ def build():
 
 
 def compute():
-    results = {}
-    for i in POINTERS:
-        for family in ("B", "CV2"):
-            name = f"Dir{i}{family}"
-            cfg = MachineConfig(num_clusters=PROCS, scheme=name)
-            results[name] = run_workload(cfg, build())
-    full = run_workload(MachineConfig(num_clusters=PROCS, scheme="full"), build())
-    return results, full
+    names = [f"Dir{i}{family}" for i in POINTERS for family in ("B", "CV2")]
+    flat = run_grid({
+        name: (MachineConfig(num_clusters=PROCS, scheme=name), build)
+        for name in names + ["full"]
+    })
+    return {name: flat[name] for name in names}, flat["full"]
 
 
 def check(results, full) -> None:
@@ -83,4 +86,4 @@ def test_pointer_count(benchmark):
 
 
 if __name__ == "__main__":
-    report()
+    raise SystemExit(bench_entry(report, description=__doc__))

@@ -13,7 +13,12 @@ Run standalone:  python benchmarks/bench_ablation_region_size.py
 
 from repro.analysis import average_invalidations, format_table
 from repro.apps import SharingDegreeWorkload
-from repro.machine import MachineConfig, run_workload
+from repro.machine import MachineConfig
+
+try:
+    from benchmarks.common import bench_entry, run_grid
+except ImportError:  # standalone script
+    from common import bench_entry, run_grid
 
 PROCS = 32
 REGIONS = [1, 2, 4, 8, 16]
@@ -26,16 +31,16 @@ def build():
 
 
 def compute():
-    sim = {}
-    model = {}
-    for r in REGIONS:
-        scheme = f"Dir3CV{r}"
-        cfg = MachineConfig(num_clusters=PROCS, scheme=scheme)
-        sim[r] = run_workload(cfg, build())
-        model[r] = average_invalidations(scheme, PROCS, 6, trials=400)
-    full = run_workload(MachineConfig(num_clusters=PROCS, scheme="full"), build())
-    bcast = run_workload(MachineConfig(num_clusters=PROCS, scheme="Dir3B"), build())
-    return sim, model, full, bcast
+    flat = run_grid({
+        scheme: (MachineConfig(num_clusters=PROCS, scheme=scheme), build)
+        for scheme in [f"Dir3CV{r}" for r in REGIONS] + ["full", "Dir3B"]
+    })
+    sim = {r: flat[f"Dir3CV{r}"] for r in REGIONS}
+    model = {
+        r: average_invalidations(f"Dir3CV{r}", PROCS, 6, trials=400)
+        for r in REGIONS
+    }
+    return sim, model, flat["full"], flat["Dir3B"]
 
 
 def check(sim, model, full, bcast) -> None:
@@ -75,4 +80,4 @@ def test_region_size(benchmark):
 
 
 if __name__ == "__main__":
-    report()
+    raise SystemExit(bench_entry(report, description=__doc__))

@@ -23,7 +23,12 @@ Run standalone:  python benchmarks/bench_ablation_shared_entry.py
 from repro.analysis import format_table
 from repro.apps import SharingDegreeWorkload
 from repro.core import make_scheme
-from repro.machine import MachineConfig, run_workload
+from repro.machine import MachineConfig
+
+try:
+    from benchmarks.common import bench_entry, run_grid
+except ImportError:  # standalone script
+    from common import bench_entry, run_grid
 
 PROCS = 32
 GROUPS = [1, 2, 4, 8]
@@ -40,16 +45,20 @@ def build():
 
 
 def compute():
-    grouped = {}
-    for group in GROUPS:
-        cfg = MachineConfig(
-            num_clusters=PROCS, scheme="full", shared_entry_group=group
+    grouped = run_grid({
+        group: (
+            MachineConfig(
+                num_clusters=PROCS, scheme="full", shared_entry_group=group
+            ),
+            build,
         )
-        grouped[group] = run_workload(cfg, build(), check=True)
+        for group in GROUPS
+    }, check=True)
     # equal-storage coarse vector: full vector pooled over 2 blocks costs
     # 16 bits/block; Dir3CV2 costs ~17 bits/entry
-    cv = run_workload(MachineConfig(num_clusters=PROCS, scheme="Dir3CV2"),
-                      build())
+    cv = run_grid({
+        "cv": (MachineConfig(num_clusters=PROCS, scheme="Dir3CV2"), build)
+    })["cv"]
     return grouped, cv
 
 
@@ -100,4 +109,4 @@ def test_shared_entry(benchmark):
 
 
 if __name__ == "__main__":
-    report()
+    raise SystemExit(bench_entry(report, description=__doc__))

@@ -20,7 +20,12 @@ Run standalone:  python benchmarks/bench_ablation_sharing_patterns.py
 
 from repro.analysis import format_table
 from repro.apps.patterns import PATTERN_CLASSES
-from repro.machine import MachineConfig, run_workload
+from repro.machine import MachineConfig
+
+try:
+    from benchmarks.common import bench_entry, run_grid
+except ImportError:  # standalone script
+    from common import bench_entry, run_grid
 
 PROCS = 32
 SCHEMES = ["full", "Dir3CV2", "Dir3B", "Dir3NB"]
@@ -32,12 +37,16 @@ def build(name):
 
 
 def compute():
-    results = {}
-    for name in PATTERN_CLASSES:
-        for scheme in SCHEMES:
-            cfg = MachineConfig(num_clusters=PROCS, scheme=scheme)
-            results[(name, scheme)] = run_workload(cfg, build(name))
-    return results
+    def factory(name):
+        return lambda: build(name)
+
+    return run_grid({
+        (name, scheme): (
+            MachineConfig(num_clusters=PROCS, scheme=scheme), factory(name)
+        )
+        for name in PATTERN_CLASSES
+        for scheme in SCHEMES
+    })
 
 
 def check(results) -> None:
@@ -93,4 +102,4 @@ def test_sharing_patterns(benchmark):
 
 
 if __name__ == "__main__":
-    report()
+    raise SystemExit(bench_entry(report, description=__doc__))

@@ -16,9 +16,9 @@ Run via pytest:  pytest benchmarks/bench_fig02_invalidations.py --benchmark-only
 """
 
 try:
-    from benchmarks.common import save_results, stats_summary
+    from benchmarks.common import bench_entry, save_results, stats_summary
 except ImportError:  # standalone script
-    from common import save_results, stats_summary
+    from common import bench_entry, save_results, stats_summary
 from repro.analysis import ascii_chart, figure2_series, format_series
 
 TRIALS = 300
@@ -88,4 +88,6 @@ def test_fig2b(benchmark):
 
 
 if __name__ == "__main__":
-    report()
+    # Monte-Carlo model, not machine simulation: the shared flags are
+    # accepted for interface uniformity but --jobs has nothing to shard.
+    raise SystemExit(bench_entry(report, description=__doc__))

@@ -26,11 +26,10 @@ try:
 except ImportError:  # running as a standalone script
     from paperconfig import locusroute, machine, PROCESSORS
 try:
-    from benchmarks.common import save_results, stats_summary
+    from benchmarks.common import bench_entry, run_grid, save_results, stats_summary
 except ImportError:  # standalone script
-    from common import save_results, stats_summary
+    from common import bench_entry, run_grid, save_results, stats_summary
 from repro.analysis import format_histogram
-from repro.machine import run_workload
 from repro.machine.stats import InvalCause
 
 FIGS = [
@@ -42,11 +41,9 @@ FIGS = [
 
 
 def compute():
-    results = {}
-    for _fig, scheme in FIGS:
-        stats = run_workload(machine(scheme), locusroute())
-        results[scheme] = stats
-    return results
+    return run_grid({
+        scheme: (machine(scheme), locusroute) for _fig, scheme in FIGS
+    })
 
 
 def check(results) -> None:
@@ -105,4 +102,4 @@ def test_fig3_to_6(benchmark):
 
 
 if __name__ == "__main__":
-    report()
+    raise SystemExit(bench_entry(report, description=__doc__))

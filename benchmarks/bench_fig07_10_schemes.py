@@ -27,11 +27,10 @@ try:
 except ImportError:  # running as a standalone script
     from paperconfig import APPS, SCHEMES_6_2, machine
 try:
-    from benchmarks.common import save_results, stats_summary
+    from benchmarks.common import bench_entry, run_grid, save_results, stats_summary
 except ImportError:  # standalone script
-    from common import save_results, stats_summary
+    from common import bench_entry, run_grid, save_results, stats_summary
 from repro.analysis import format_table
-from repro.machine import run_workload
 
 FIG_OF_APP = {"LU": "Figure 7", "DWF": "Figure 8", "MP3D": "Figure 9",
               "LocusRoute": "Figure 10"}
@@ -39,14 +38,21 @@ FIG_OF_APP = {"LU": "Figure 7", "DWF": "Figure 8", "MP3D": "Figure 9",
 
 def compute_app(app_name):
     build = APPS[app_name]
-    return {
-        scheme: run_workload(machine(scheme), build())
-        for scheme in SCHEMES_6_2
-    }
+    return run_grid({
+        scheme: (machine(scheme), build) for scheme in SCHEMES_6_2
+    })
 
 
 def compute_all():
-    return {app: compute_app(app) for app in APPS}
+    flat = run_grid({
+        (app, scheme): (machine(scheme), build)
+        for app, build in APPS.items()
+        for scheme in SCHEMES_6_2
+    })
+    return {
+        app: {scheme: flat[(app, scheme)] for scheme in SCHEMES_6_2}
+        for app in APPS
+    }
 
 
 def check(results) -> None:
@@ -138,4 +144,4 @@ def test_fig10_locusroute(benchmark):
 
 
 if __name__ == "__main__":
-    report()
+    raise SystemExit(bench_entry(report, description=__doc__))

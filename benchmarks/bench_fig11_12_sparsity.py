@@ -31,22 +31,21 @@ try:
 except ImportError:  # running as a standalone script
     from paperconfig import SCHEMES_6_3, dwf_sparse, lu_sparse, sparse_machine
 try:
-    from benchmarks.common import save_results, stats_summary
+    from benchmarks.common import bench_entry, run_grid, save_results, stats_summary
 except ImportError:  # standalone script
-    from common import save_results, stats_summary
+    from common import bench_entry, run_grid, save_results, stats_summary
 from repro.analysis import format_table
-from repro.machine import run_workload
 
 SIZE_FACTORS = [None, 4.0, 2.0, 1.0]  # None = non-sparse baseline
 
 
 def compute(app_builder, **machine_overrides):
-    results = {}
-    for scheme in SCHEMES_6_3:
-        for sf in SIZE_FACTORS:
-            cfg = sparse_machine(scheme, sf, **machine_overrides)
-            results[(scheme, sf)] = run_workload(cfg, app_builder())
-    return results
+    return run_grid({
+        (scheme, sf): (sparse_machine(scheme, sf, **machine_overrides),
+                       app_builder)
+        for scheme in SCHEMES_6_3
+        for sf in SIZE_FACTORS
+    })
 
 
 # DWF's scaled cache must still hold its (small) wavefront working set —
@@ -143,4 +142,4 @@ def test_fig12_dwf(benchmark):
 
 
 if __name__ == "__main__":
-    report()
+    raise SystemExit(bench_entry(report, description=__doc__))

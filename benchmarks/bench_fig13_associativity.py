@@ -20,23 +20,22 @@ try:
 except ImportError:  # running as a standalone script
     from paperconfig import lu_sparse, sparse_machine
 try:
-    from benchmarks.common import save_results, stats_summary
+    from benchmarks.common import bench_entry, run_grid, save_results, stats_summary
 except ImportError:  # standalone script
-    from common import save_results, stats_summary
+    from common import bench_entry, run_grid, save_results, stats_summary
 from repro.analysis import format_table
-from repro.machine import run_workload
 
 ASSOCS = [1, 2, 4]
 SIZE_FACTORS = [1.0, 2.0, 4.0]
 
 
 def compute():
-    results = {}
-    for sf in SIZE_FACTORS:
-        for assoc in ASSOCS:
-            cfg = sparse_machine("full", sf, assoc=assoc, policy="random")
-            results[(sf, assoc)] = run_workload(cfg, lu_sparse())
-    return results
+    return run_grid({
+        (sf, assoc): (sparse_machine("full", sf, assoc=assoc,
+                                     policy="random"), lu_sparse)
+        for sf in SIZE_FACTORS
+        for assoc in ASSOCS
+    })
 
 
 def check(results) -> None:
@@ -80,4 +79,4 @@ def test_fig13(benchmark):
 
 
 if __name__ == "__main__":
-    report()
+    raise SystemExit(bench_entry(report, description=__doc__))

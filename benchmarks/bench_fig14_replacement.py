@@ -18,23 +18,22 @@ try:
 except ImportError:  # running as a standalone script
     from paperconfig import lu_sparse, sparse_machine
 try:
-    from benchmarks.common import save_results, stats_summary
+    from benchmarks.common import bench_entry, run_grid, save_results, stats_summary
 except ImportError:  # standalone script
-    from common import save_results, stats_summary
+    from common import bench_entry, run_grid, save_results, stats_summary
 from repro.analysis import format_table
-from repro.machine import run_workload
 
 POLICIES = ["lru", "random", "lra"]
 SIZE_FACTORS = [1.0, 2.0, 4.0]
 
 
 def compute():
-    results = {}
-    for sf in SIZE_FACTORS:
-        for policy in POLICIES:
-            cfg = sparse_machine("full", sf, policy=policy, assoc=4)
-            results[(sf, policy)] = run_workload(cfg, lu_sparse())
-    return results
+    return run_grid({
+        (sf, policy): (sparse_machine("full", sf, policy=policy, assoc=4),
+                       lu_sparse)
+        for sf in SIZE_FACTORS
+        for policy in POLICIES
+    })
 
 
 def check(results) -> None:
@@ -77,4 +76,4 @@ def test_fig14(benchmark):
 
 
 if __name__ == "__main__":
-    report()
+    raise SystemExit(bench_entry(report, description=__doc__))

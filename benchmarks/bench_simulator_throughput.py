@@ -89,6 +89,11 @@ def _measure(scheme: str, *, particles: int, steps: int) -> dict:
 
 def main(argv=None) -> int:
     """Run the throughput sweep and write ``BENCH_throughput.json``."""
+    try:
+        from benchmarks.common import add_runner_args
+    except ImportError:  # standalone script
+        from common import add_runner_args
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--quick", action="store_true",
@@ -98,6 +103,10 @@ def main(argv=None) -> int:
         "--out", type=Path, default=REPO_ROOT,
         help="directory to write BENCH_throughput.json into",
     )
+    # Shared runner flags are accepted for interface uniformity, but this
+    # bench measures wall-clock and must therefore always simulate in-process:
+    # cached or parallel runs would corrupt the telemetry it exists to record.
+    add_runner_args(parser)
     args = parser.parse_args(argv)
     particles, steps = (128, 1) if args.quick else (512, 3)
     results = []

@@ -13,9 +13,9 @@ Run via pytest:  pytest benchmarks/bench_table1_configs.py --benchmark-only -s
 """
 
 try:
-    from benchmarks.common import save_results, stats_summary
+    from benchmarks.common import bench_entry, save_results, stats_summary
 except ImportError:  # standalone script
-    from common import save_results, stats_summary
+    from common import bench_entry, save_results, stats_summary
 from repro.analysis import format_table
 from repro.core import (
     FullBitVectorScheme,
@@ -68,4 +68,4 @@ def test_table1(benchmark):
 
 
 if __name__ == "__main__":
-    report()
+    raise SystemExit(bench_entry(report, description=__doc__))

@@ -17,9 +17,9 @@ try:
 except ImportError:  # running as a standalone script
     from paperconfig import APPS
 try:
-    from benchmarks.common import save_results, stats_summary
+    from benchmarks.common import bench_entry, save_results, stats_summary
 except ImportError:  # standalone script
-    from common import save_results, stats_summary
+    from common import bench_entry, save_results, stats_summary
 from repro.analysis import format_table
 from repro.trace import characterize
 
@@ -62,4 +62,4 @@ def test_table2(benchmark):
 
 
 if __name__ == "__main__":
-    report()
+    raise SystemExit(bench_entry(report, description=__doc__))

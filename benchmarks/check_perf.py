@@ -1,0 +1,72 @@
+"""Perf-regression gate: compare fresh throughput against the baseline.
+
+The CI ``perf`` job runs the quick throughput bench and compares each
+scheme's ``events_per_s`` against the committed ``BENCH_throughput.json``
+with a relative tolerance (default ±30%, wide enough for runner noise
+and the quick-vs-full workload difference, tight enough to catch an
+algorithmic slowdown in the event kernel or directory hot paths).
+
+Usage::
+
+    python benchmarks/check_perf.py BASELINE.json FRESH.json --tolerance 0.30
+
+Exit status 0 when every scheme present in both files is within
+tolerance, 1 otherwise.  Schemes present in the baseline but missing
+from the fresh run (or vice versa) fail the gate: a silently dropped
+measurement is not a pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict
+
+
+def _per_scheme(path: Path) -> Dict[str, float]:
+    """Map scheme -> events_per_s from a BENCH_throughput.json envelope."""
+    data = json.loads(path.read_text())
+    records = data.get("results", [])
+    out: Dict[str, float] = {}
+    for record in records:
+        out[str(record["scheme"])] = float(record["events_per_s"])
+    if not out:
+        raise SystemExit(f"{path}: no per-scheme results found")
+    return out
+
+
+def main(argv=None) -> int:
+    """Compare the two telemetry files; print a verdict per scheme."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("fresh", type=Path)
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed relative deviation (0.30 = ±30%%)")
+    args = parser.parse_args(argv)
+    base = _per_scheme(args.baseline)
+    fresh = _per_scheme(args.fresh)
+    failed = False
+    for scheme in sorted(set(base) | set(fresh)):
+        if scheme not in fresh:
+            print(f"FAIL {scheme:>8}: missing from fresh run")
+            failed = True
+            continue
+        if scheme not in base:
+            print(f"FAIL {scheme:>8}: missing from baseline")
+            failed = True
+            continue
+        ratio = fresh[scheme] / base[scheme] if base[scheme] else float("inf")
+        drift = ratio - 1.0
+        ok = abs(drift) <= args.tolerance
+        mark = "ok  " if ok else "FAIL"
+        print(f"{mark} {scheme:>8}: baseline={base[scheme]:>10,.0f} ev/s  "
+              f"fresh={fresh[scheme]:>10,.0f} ev/s  drift={drift:+.1%} "
+              f"(tolerance ±{args.tolerance:.0%})")
+        failed = failed or not ok
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

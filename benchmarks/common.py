@@ -1,17 +1,38 @@
-"""Shared benchmark plumbing: persist regenerated results as JSON.
+"""Shared benchmark plumbing: the runner entrypoint and result persistence.
 
-Every benchmark that regenerates a paper artifact calls
-:func:`save_results` with a plain-data summary; the file lands in
-``results/<name>.json`` next to this package, so EXPERIMENTS.md numbers
-can be re-derived (and diffed across code changes) without re-reading
-terminal output.
+Every benchmark that regenerates a paper artifact goes through two
+services here:
+
+* :func:`run_grid` — execute a labeled set of (config, workload) points
+  through the shared sweep engine (:func:`repro.analysis.sweeps.run_points`),
+  honoring the process-wide runner options (``--jobs N`` forked workers,
+  content-addressed result caching via ``--cache-dir`` /
+  ``$REPRO_CACHE_DIR``, ``--no-cache``).  Results are point-for-point
+  identical to the serial, uncached loop.
+* :func:`save_results` — persist the regenerated summary as
+  ``results/<name>.json`` so EXPERIMENTS.md numbers can be re-derived
+  and CI can diff them against the committed files.
+
+Scripts call :func:`bench_entry` from their ``__main__`` block; it
+parses the shared flags, runs the report, and prints the cache summary.
+The pytest-benchmark path calls ``compute()`` directly and therefore
+uses the defaults (serial, cache only if ``$REPRO_CACHE_DIR`` is set) —
+wall-clock measurements stay meaningful.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.cache import ResultCache, default_cache_dir
+from repro.analysis.sweeps import PointSpec, run_points
+from repro.machine.config import MachineConfig
+from repro.machine.stats import SimStats
+from repro.trace.workload import Workload
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -20,6 +41,136 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 #: numbers are unchanged).  repro.analysis.sweeps.load_results_dict
 #: accepts both.
 RESULTS_SCHEMA = 2
+
+
+# -- runner options (process-wide, set once by bench_entry) -------------------
+
+
+@dataclass
+class RunnerOptions:
+    """How this process executes simulation grids."""
+
+    jobs: int = 1
+    cache_dir: Optional[Path] = None
+    no_cache: bool = False
+
+    def make_cache(self) -> Optional[ResultCache]:
+        """A ResultCache honoring the flags, or None when caching is off."""
+        if self.no_cache:
+            return None
+        root = self.cache_dir or default_cache_dir()
+        return ResultCache(root) if root else None
+
+
+_options = RunnerOptions()
+_cache: Optional[ResultCache] = None
+
+
+def runner_options() -> RunnerOptions:
+    """The active process-wide runner options."""
+    return _options
+
+
+def configure_runner(
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[Path | str] = None,
+    no_cache: bool = False,
+) -> RunnerOptions:
+    """Set the process-wide runner options (used by bench_entry and tests)."""
+    global _options, _cache
+    _options = RunnerOptions(
+        jobs=jobs,
+        cache_dir=Path(cache_dir) if cache_dir else None,
+        no_cache=no_cache,
+    )
+    _cache = _options.make_cache()
+    return _options
+
+
+def active_cache() -> Optional[ResultCache]:
+    """The shared cache instance (so hit/miss counters accumulate), if any."""
+    global _cache
+    if _cache is None and not _options.no_cache:
+        _cache = _options.make_cache()
+    return _cache
+
+
+def add_runner_args(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--jobs`` / ``--cache-dir`` / ``--no-cache`` flags."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="simulate up to N grid points in parallel worker processes",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="content-addressed result cache directory "
+             "(default: $REPRO_CACHE_DIR when set, else no caching)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if $REPRO_CACHE_DIR is set",
+    )
+
+
+def apply_runner_args(args: argparse.Namespace) -> RunnerOptions:
+    """Configure the process-wide runner from parsed shared flags."""
+    return configure_runner(
+        jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache
+    )
+
+
+def bench_entry(
+    report: Callable[[], None],
+    argv: Optional[Sequence[str]] = None,
+    *,
+    description: Optional[str] = None,
+) -> int:
+    """Standard ``__main__`` entrypoint for every benchmark script.
+
+    Parses the shared runner flags, configures the process, runs the
+    script's ``report()``, and prints the cache hit/miss summary when a
+    cache was active.  Returns a process exit code.
+    """
+    parser = argparse.ArgumentParser(description=description)
+    add_runner_args(parser)
+    apply_runner_args(parser.parse_args(argv))
+    report()
+    cache = active_cache()
+    if cache is not None:
+        print(f"\n[{cache.summary()}]")
+    return 0
+
+
+def run_grid(
+    points: Mapping[Any, Tuple[MachineConfig, Callable[[], Workload]]],
+    *,
+    check: bool = False,
+) -> Dict[Any, SimStats]:
+    """Simulate labeled (config, workload-factory) points; key -> stats.
+
+    The one loop every figure/ablation benchmark shares: insertion order
+    of ``points`` is the deterministic grid order (sharding, caching,
+    and result assembly all follow it).  ``check`` verifies coherence
+    after each point, as some ablations require.
+    """
+    labels = list(points)
+    specs = [
+        PointSpec(
+            config=points[label][0],
+            workload_factory=points[label][1],
+            check=check,
+            label=str(label),
+        )
+        for label in labels
+    ]
+    stats = run_points(
+        specs, jobs=_options.jobs, cache=active_cache()
+    )
+    return dict(zip(labels, stats))
+
+
+# -- result persistence -------------------------------------------------------
 
 
 def _plain(value: Any) -> Any:

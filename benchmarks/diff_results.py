@@ -1,0 +1,94 @@
+"""Semantic diff of regenerated ``results/*.json`` against committed copies.
+
+The CI ``figures`` job regenerates a subset of the paper artifacts and
+fails the build when any *number* changed — while ignoring the
+``schema`` header, which versions the file format rather than the
+figure.  Comparison is exact: the simulator is deterministic, so even a
+one-ulp float drift means the code changed behaviour and the committed
+artifact (or the code) is wrong.
+
+Usage::
+
+    python benchmarks/diff_results.py --baseline results_committed \
+        --fresh results fig02a fig14 table1
+
+Exit status 0 when every named artifact matches, 1 otherwise (with a
+per-path report of the first differences).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Iterator, List, Tuple
+
+from repro.analysis.sweeps import load_results_dict
+
+#: stop printing per-file differences after this many (keep CI logs sane)
+MAX_DIFFS = 25
+
+
+def _walk_diffs(a: Any, b: Any, path: str = "$") -> Iterator[Tuple[str, Any, Any]]:
+    """Yield (json-path, baseline, fresh) for every leaf-level difference."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            if key not in a:
+                yield (f"{path}.{key}", "<absent>", b[key])
+            elif key not in b:
+                yield (f"{path}.{key}", a[key], "<absent>")
+            else:
+                yield from _walk_diffs(a[key], b[key], f"{path}.{key}")
+    elif isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            yield (f"{path}.length", len(a), len(b))
+        for i, (va, vb) in enumerate(zip(a, b)):
+            yield from _walk_diffs(va, vb, f"{path}[{i}]")
+    elif a != b:
+        yield (path, a, b)
+
+
+def compare_file(baseline: Path, fresh: Path) -> List[Tuple[str, Any, Any]]:
+    """Differences between two results files, schema header excluded."""
+    a = load_results_dict(json.loads(baseline.read_text()))
+    b = load_results_dict(json.loads(fresh.read_text()))
+    return list(_walk_diffs(a, b))
+
+
+def main(argv=None) -> int:
+    """Compare the named artifacts; print a report; return an exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True,
+                        help="directory holding the committed results files")
+    parser.add_argument("--fresh", type=Path, required=True,
+                        help="directory holding the regenerated files")
+    parser.add_argument("names", nargs="+",
+                        help="artifact names (without .json), e.g. fig02a")
+    args = parser.parse_args(argv)
+    failed = False
+    for name in args.names:
+        baseline = args.baseline / f"{name}.json"
+        fresh = args.fresh / f"{name}.json"
+        for path in (baseline, fresh):
+            if not path.exists():
+                print(f"FAIL {name}: missing {path}")
+                failed = True
+                break
+        else:
+            diffs = compare_file(baseline, fresh)
+            if diffs:
+                failed = True
+                print(f"FAIL {name}: {len(diffs)} difference(s)")
+                for path, va, vb in diffs[:MAX_DIFFS]:
+                    print(f"  {path}: committed={va!r} regenerated={vb!r}")
+                if len(diffs) > MAX_DIFFS:
+                    print(f"  ... and {len(diffs) - MAX_DIFFS} more")
+            else:
+                print(f"ok   {name}: semantically identical "
+                      f"(schema header excluded)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,11 +21,15 @@ from repro.analysis.distributions import (
     excess_invalidations,
     total_variation_distance,
 )
+from repro.analysis.cache import ResultCache, code_fingerprint, point_key
 from repro.analysis.sweeps import (
+    ParallelRunner,
+    PointSpec,
     Sweep,
     SweepResults,
     load_results_dict,
     load_stats_dict,
+    run_points,
 )
 from repro.analysis.charts import ascii_chart
 
@@ -45,9 +49,15 @@ __all__ = [
     "broadcast_mass",
     "excess_invalidations",
     "total_variation_distance",
+    "ParallelRunner",
+    "PointSpec",
+    "ResultCache",
     "Sweep",
     "SweepResults",
+    "code_fingerprint",
     "load_results_dict",
     "load_stats_dict",
+    "point_key",
+    "run_points",
     "ascii_chart",
 ]

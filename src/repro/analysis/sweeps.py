@@ -13,20 +13,42 @@ Example::
     )
     sweep.add_axis("scheme", ["full", "Dir3CV2", "Dir3B"])
     sweep.add_axis("sparse_size_factor", [None, 2.0, 1.0])
-    results = sweep.run()
+    results = sweep.run(jobs=4)
     print(results.table(["exec_time", "total_messages"]))
+
+Execution goes through :func:`run_points`, which adds two orthogonal
+accelerations to the serial loop while returning point-for-point
+identical results:
+
+* **parallelism** — ``jobs > 1`` shards the grid across forked worker
+  processes (:class:`ParallelRunner`; deterministic round-robin shard
+  assignment, results reassembled in grid order);
+* **caching** — a :class:`~repro.analysis.cache.ResultCache` skips any
+  point whose content-addressed key (config + workload identity + code
+  fingerprint) already has a stored result.
+
+The ``progress`` callback contract holds on every path: it is invoked
+exactly once per *completed* point (simulated or cache-loaded), in
+deterministic grid order, after the point's stats are final; when a
+point raises, the callback has fired exactly for the contiguous prefix
+of points before the first (grid-order) failure.
 """
 
 from __future__ import annotations
 
 import itertools
+import multiprocessing
+import pickle
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.analysis.cache import ResultCache, point_key
 from repro.analysis.report import format_table
 from repro.machine.config import MachineConfig
 from repro.machine.stats import STATS_SCHEMA, SimStats
 from repro.machine.system import run_workload
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.trace.workload import Workload
 
 
@@ -136,6 +158,226 @@ class SweepResults:
         return format_table(headers, rows)
 
 
+@dataclass(frozen=True)
+class PointSpec:
+    """One schedulable simulation: a config, a workload recipe, run flags.
+
+    ``workload_factory`` is called in whichever process executes the
+    point (parent or forked worker), so workloads are built from the
+    same recipe on every path and never cross a process boundary.
+    ``label`` is observability-only (span annotation).
+    """
+
+    config: MachineConfig
+    workload_factory: Callable[[], Workload]
+    check: bool = False
+    label: str = ""
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The fork multiprocessing context, or None where unsupported.
+
+    Fork is required (not merely preferred) because point specs carry
+    arbitrary callables — lambdas, closures over configs — which spawn
+    would have to pickle.  On platforms without fork the runner degrades
+    to the serial path, which is always correct.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+def _worker_main(
+    specs: Sequence[PointSpec],
+    shard: Sequence[int],
+    queue: "multiprocessing.queues.SimpleQueue",
+) -> None:
+    """Forked worker: simulate one shard, stream (index, stats, wall) back.
+
+    On the first failing point the worker reports ``(index, exception)``
+    and exits; its remaining points are accounted for by the parent.
+    """
+    for idx in shard:
+        spec = specs[idx]
+        try:
+            t0 = time.perf_counter()
+            stats = run_workload(
+                spec.config, spec.workload_factory(), check=spec.check
+            )
+            queue.put((idx, stats, time.perf_counter() - t0))
+        except BaseException as exc:  # noqa: BLE001 - relayed to the parent
+            try:
+                pickle.dumps(exc)
+            except Exception:
+                exc = RuntimeError(f"{type(exc).__name__}: {exc}")
+            queue.put((idx, exc, None))
+            return
+
+
+class ParallelRunner:
+    """Executes point specs across forked workers, deterministically.
+
+    Sharding is round-robin by grid index (worker ``w`` gets indices
+    ``w, w+jobs, w+2*jobs, ...``), so the assignment — and therefore any
+    per-worker execution order effect — is a pure function of the grid
+    and ``jobs``.  Each point is simulated from a freshly built workload
+    exactly as the serial path would, so results are point-for-point
+    identical; only wall-clock changes.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+
+    def run(
+        self,
+        specs: Sequence[PointSpec],
+        indices: Sequence[int],
+        on_complete: Optional[Callable[[int, SimStats, float], None]] = None,
+    ) -> Dict[int, SimStats]:
+        """Simulate the points at ``indices``; returns index -> stats.
+
+        ``on_complete`` fires in *completion* order (any index order) as
+        results stream in — grid-order delivery is the caller's job.  If
+        any point raises, every live shard is drained first and the
+        failure with the smallest grid index is re-raised, matching the
+        error the serial path would have hit first.
+        """
+        ctx = _fork_context()
+        assert ctx is not None, "ParallelRunner requires fork support"
+        shards = [
+            list(indices[w :: self.jobs]) for w in range(self.jobs)
+        ]
+        shards = [s for s in shards if s]
+        queue = ctx.SimpleQueue()
+        workers = [
+            ctx.Process(
+                target=_worker_main, args=(specs, shard, queue), daemon=True
+            )
+            for shard in shards
+        ]
+        for worker in workers:
+            worker.start()
+        shard_of = {
+            idx: w for w, shard in enumerate(shards) for idx in shard
+        }
+        done_in_shard = [0] * len(shards)
+        expected = sum(len(s) for s in shards)
+        received = 0
+        results: Dict[int, SimStats] = {}
+        errors: Dict[int, BaseException] = {}
+        try:
+            while received < expected:
+                idx, payload, wall = queue.get()
+                w = shard_of[idx]
+                done_in_shard[w] += 1
+                if wall is None:
+                    # shard w died at idx: its unfinished points never arrive
+                    errors[idx] = payload
+                    received += len(shards[w]) - done_in_shard[w] + 1
+                    continue
+                received += 1
+                results[idx] = payload
+                if on_complete is not None:
+                    on_complete(idx, payload, wall)
+        finally:
+            for worker in workers:
+                if errors:
+                    worker.terminate()
+                worker.join()
+        if errors:
+            raise errors[min(errors)]
+        return results
+
+
+def run_points(
+    specs: Sequence[PointSpec],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[int, SimStats], None]] = None,
+    obs: Optional[Tracer] = None,
+) -> List[SimStats]:
+    """Execute point specs with optional parallelism and result caching.
+
+    The shared engine behind :meth:`Sweep.run` and the benchmark runner
+    (``benchmarks.common.run_grid``).  Returns stats in spec order,
+    identical on every (jobs, cache) combination.  ``progress(i, stats)``
+    follows the contract documented at module level.  ``obs`` emits one
+    ``sweep.point`` span per completed point plus ``sweep_cache_hits`` /
+    ``sweep_cache_misses`` counters through the declared registry names.
+    """
+    obs = obs if obs is not None else NULL_TRACER
+    n = len(specs)
+    stats_by_index: Dict[int, SimStats] = {}
+    cached = set()
+    keys: Dict[int, str] = {}
+    if cache is not None:
+        for i, spec in enumerate(specs):
+            keys[i] = point_key(
+                spec.config, spec.workload_factory(), check=spec.check
+            )
+            hit = cache.get(keys[i])
+            if hit is not None:
+                stats_by_index[i] = hit
+                cached.add(i)
+    if obs.enabled:
+        obs.metrics.counter("sweep_cache_hits").inc(len(cached))
+        obs.metrics.counter("sweep_cache_misses").inc(n - len(cached))
+    misses = [i for i in range(n) if i not in cached]
+
+    next_i = 0
+
+    def _deliver_prefix() -> None:
+        """Fire progress for the contiguous completed prefix, in order."""
+        nonlocal next_i
+        while next_i < n and next_i in stats_by_index:
+            if progress is not None:
+                progress(next_i, stats_by_index[next_i])
+            next_i += 1
+
+    def _record(i: int, stats: SimStats, wall: float) -> None:
+        stats_by_index[i] = stats
+        if cache is not None:
+            cache.put(keys[i], stats)
+        if obs.enabled:
+            obs.emit(
+                "sweep.point",
+                ts=obs.now(),
+                dur=wall,
+                comp="sweep",
+                args={"index": i, "cached": False, "label": specs[i].label},
+            )
+        _deliver_prefix()
+
+    if obs.enabled:
+        for i in sorted(cached):
+            obs.emit(
+                "sweep.point",
+                ts=obs.now(),
+                dur=0.0,
+                comp="sweep",
+                args={"index": i, "cached": True, "label": specs[i].label},
+            )
+
+    if jobs > 1 and len(misses) > 1 and _fork_context() is not None:
+        runner = ParallelRunner(min(jobs, len(misses)))
+        _deliver_prefix()
+        runner.run(specs, misses, on_complete=_record)
+    else:
+        _deliver_prefix()
+        for i in misses:
+            spec = specs[i]
+            t0 = time.perf_counter()
+            stats = run_workload(
+                spec.config, spec.workload_factory(), check=spec.check
+            )
+            _record(i, stats, time.perf_counter() - t0)
+    assert next_i == n, "internal error: sweep points missing"
+    return [stats_by_index[i] for i in range(n)]
+
+
 class Sweep:
     """A cartesian grid of MachineConfig overrides, run over one workload."""
 
@@ -167,23 +409,59 @@ class Sweep:
     def axis_names(self) -> List[str]:
         return [name for name, _ in self._axes]
 
-    def run(
-        self,
-        *,
-        progress: Optional[Callable[[Mapping[str, Any], SimStats], None]] = None,
-    ) -> SweepResults:
-        """Run every grid point; optionally report progress per point."""
+    def grid(self) -> List[Dict[str, Any]]:
+        """The override mapping of every grid point, in deterministic order.
+
+        Axes vary slowest-first in the order they were added (the
+        cartesian-product order the serial loop has always used); this
+        order defines shard assignment, progress delivery, and the
+        ordering of :attr:`SweepResults.points`.
+        """
         if not self._axes:
             raise ValueError("add at least one axis before running")
         names = self.axis_names
-        points: List[SweepPoint] = []
-        for combo in itertools.product(*(vals for _, vals in self._axes)):
-            overrides = dict(zip(names, combo))
-            cfg = self.base.with_(**overrides)
-            stats = run_workload(
-                cfg, self.workload_factory(), check=self.check_coherence
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(vals for _, vals in self._axes))
+        ]
+
+    def run(
+        self,
+        *,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[Callable[[Mapping[str, Any], SimStats], None]] = None,
+        obs: Optional[Tracer] = None,
+    ) -> SweepResults:
+        """Run every grid point; optionally parallel, cached, and traced.
+
+        ``jobs`` — fork this many worker processes (1 = in-process
+        serial; results are identical either way).  ``cache`` — reuse
+        and persist per-point results by content hash.  ``progress`` —
+        called exactly once per completed point, in deterministic grid
+        order, with the point's overrides and final stats; the contract
+        holds under ``jobs > 1`` and, on failure, covers exactly the
+        points before the first grid-order error.  ``obs`` — a tracer
+        receiving per-point ``sweep.point`` spans and cache counters.
+        """
+        grid = self.grid()
+        specs = [
+            PointSpec(
+                config=self.base.with_(**overrides),
+                workload_factory=self.workload_factory,
+                check=self.check_coherence,
+                label=",".join(f"{k}={v}" for k, v in overrides.items()),
             )
-            if progress is not None:
-                progress(overrides, stats)
-            points.append(SweepPoint(tuple(overrides.items()), stats))
-        return SweepResults(names, points)
+            for overrides in grid
+        ]
+        wrapped = None
+        if progress is not None:
+            wrapped = lambda i, stats: progress(grid[i], stats)  # noqa: E731
+        stats_list = run_points(
+            specs, jobs=jobs, cache=cache, progress=wrapped, obs=obs
+        )
+        points = [
+            SweepPoint(tuple(overrides.items()), stats)
+            for overrides, stats in zip(grid, stats_list)
+        ]
+        return SweepResults(self.axis_names, points)

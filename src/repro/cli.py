@@ -3,6 +3,7 @@
 Subcommands::
 
     python -m repro run --app LU --scheme Dir3CV2 --procs 32
+    python -m repro sweep --app LU --axis scheme=full,Dir3CV2 --jobs 4
     python -m repro compare --app LocusRoute --schemes full,Dir3CV2,Dir3B
     python -m repro characterize --app DWF
     python -m repro overhead --nodes 64 --scheme Dir3CV2 --sparsity 4
@@ -120,6 +121,66 @@ def cmd_run(args) -> int:
     if args.histogram:
         print("\ninvalidation distribution:")
         print(format_histogram(stats.inval_distribution()))
+    return 0
+
+
+def _axis_value(token: str):
+    """Parse one axis value: int, float, bool, None, or bare string."""
+    lowered = token.lower()
+    if lowered == "none":
+        return None
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(token)
+        except ValueError:
+            continue
+    return token
+
+
+def cmd_sweep(args) -> int:
+    """``repro sweep``: a config-axis grid, optionally parallel and cached."""
+    from repro.analysis.cache import ResultCache, default_cache_dir
+    from repro.analysis.sweeps import Sweep
+
+    sweep = Sweep(
+        _machine(args),
+        lambda: _app_factory(args.app, args.procs, args.scale, args.seed),
+        check_coherence=args.check,
+    )
+    for spec in args.axis:
+        name, _, values = spec.partition("=")
+        if not values:
+            raise SystemExit(
+                f"bad --axis {spec!r}; expected FIELD=V1,V2,..."
+            )
+        try:
+            sweep.add_axis(name, [_axis_value(v) for v in values.split(",")])
+        except (TypeError, ValueError) as exc:
+            raise SystemExit(f"bad --axis {spec!r}: {exc}")
+    cache = None
+    if not args.no_cache:
+        root = args.cache_dir or default_cache_dir()
+        if root:
+            cache = ResultCache(root)
+    progress = None
+    if args.progress:
+        total = len(sweep.grid())
+
+        def progress(overrides, stats, _counter=[0]):
+            _counter[0] += 1
+            label = ",".join(f"{k}={v}" for k, v in overrides.items())
+            print(f"[{_counter[0]}/{total}] {label}: "
+                  f"t={stats.exec_time:,.0f} msgs={stats.total_messages:,}")
+
+    results = sweep.run(jobs=args.jobs, cache=cache, progress=progress)
+    metrics = [m for m in args.metrics.split(",") if m]
+    print(f"{args.app} on {args.procs} processors, "
+          f"{len(results)} grid points (jobs={args.jobs}):")
+    print(results.table(metrics))
+    if cache is not None:
+        print(f"\n[{cache.summary()}]")
     return 0
 
 
@@ -273,6 +334,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--histogram", action="store_true",
                    help="print the invalidation distribution")
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "sweep", help="run a config-axis grid, optionally parallel and cached"
+    )
+    _add_machine_args(p)
+    p.add_argument("--app", required=True)
+    p.add_argument(
+        "--axis", action="append", required=True, metavar="FIELD=V1,V2,...",
+        help="config field to sweep (repeatable); values are parsed as "
+             "int/float/bool/none when possible",
+    )
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="simulate up to N grid points in parallel")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="content-addressed result cache "
+                        "(default: $REPRO_CACHE_DIR when set)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the result cache")
+    p.add_argument("--check", action="store_true",
+                   help="verify coherence invariants after every point")
+    p.add_argument("--progress", action="store_true",
+                   help="print one line per completed grid point")
+    p.add_argument("--metrics",
+                   default="exec_time,total_messages,invalidation_events",
+                   help="comma-separated stat columns for the table")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("compare", help="one app across several schemes")
     _add_machine_args(p)

@@ -10,8 +10,8 @@ exactly 23 / 63 / 80 cycles.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Optional
 
 
 @dataclass(frozen=True)
@@ -132,6 +132,17 @@ class MachineConfig:
     def with_(self, **changes) -> "MachineConfig":
         """A modified copy (dataclasses.replace wrapper)."""
         return replace(self, **changes)
+
+    def cache_key_fields(self) -> Dict[str, Any]:
+        """Canonical, JSON-safe mapping of every config field, sorted by name.
+
+        This is the config half of the content-addressed result-cache key
+        (see :mod:`repro.analysis.cache`): two configs hash equal exactly
+        when every dataclass field compares equal, independent of how the
+        config was constructed.  All fields are scalars (or ``None``), so
+        the mapping serializes deterministically with ``sort_keys=True``.
+        """
+        return {f.name: getattr(self, f.name) for f in sorted(fields(self), key=lambda f: f.name)}
 
     # -- paper-style composed latencies (for documentation/tests) -----------
 

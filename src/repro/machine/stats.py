@@ -229,6 +229,72 @@ class SimStats:
             out["metrics"] = self.metrics.to_dict()
         return out
 
+    # -- lossless state round-trip (the result-cache payload) ---------------
+
+    #: plain-int / plain-float attributes copied verbatim by the state
+    #: round-trip below (everything except the enum-keyed structures)
+    _SCALAR_FIELDS = (
+        "exec_time", "l1_hits", "l2_hits", "local_misses", "remote_misses",
+        "writebacks", "sparse_replacements", "nb_evictions", "lock_acquires",
+        "barrier_waits", "fault_retries", "invariant_violations",
+    )
+
+    def to_state(self) -> Dict[str, object]:
+        """Lossless JSON-safe snapshot of every recorded statistic.
+
+        Unlike :meth:`to_dict` (a flat report that drops the per-cause
+        invalidation histograms and per-processor breakdowns), this
+        captures enough to rebuild an equivalent ``SimStats`` via
+        :meth:`from_state` — it is what the content-addressed result
+        cache (:mod:`repro.analysis.cache`) persists.  The live
+        ``metrics`` registry is deliberately excluded: observability
+        instruments belong to a particular traced run, not to the
+        deterministic simulation outcome.
+        """
+        state: Dict[str, object] = {
+            "num_processors": len(self.procs),
+            "messages": {c.name: n for c, n in sorted(self.messages.items())},
+            "inval_hist": {
+                cause.value: {str(size): n for size, n in sorted(hist.items())}
+                for cause, hist in self.inval_hist.items()
+                if hist
+            },
+            "fault_counts": {
+                k.value: n for k, n in sorted(self.fault_counts.items())
+            },
+            "procs": [vars(p).copy() for p in self.procs],
+        }
+        for name in self._SCALAR_FIELDS:
+            state[name] = getattr(self, name)
+        return state
+
+    @classmethod
+    def from_state(cls, state: Dict[str, object]) -> "SimStats":
+        """Rebuild a ``SimStats`` from a :meth:`to_state` snapshot.
+
+        Raises ``KeyError``/``ValueError``/``TypeError`` on malformed
+        input — the result cache treats any such failure as a corrupted
+        entry and falls back to simulation.
+        """
+        stats = cls(int(state["num_processors"]))  # type: ignore[arg-type]
+        for label, count in state["messages"].items():  # type: ignore[union-attr]
+            stats.messages[MsgClass[label]] = int(count)
+        for cause_value, hist in state.get("inval_hist", {}).items():  # type: ignore[union-attr]
+            counter = stats.inval_hist[InvalCause(cause_value)]
+            for size, n in hist.items():
+                counter[int(size)] = int(n)
+        for kind_value, n in state.get("fault_counts", {}).items():  # type: ignore[union-attr]
+            stats.fault_counts[FaultKind(kind_value)] = int(n)
+        procs_state = state["procs"]
+        if len(procs_state) != len(stats.procs):  # type: ignore[arg-type]
+            raise ValueError("processor count mismatch in stats state")
+        for proc, pstate in zip(stats.procs, procs_state):  # type: ignore[arg-type]
+            for field_name in vars(proc):
+                setattr(proc, field_name, pstate[field_name])
+        for name in cls._SCALAR_FIELDS:
+            setattr(stats, name, state[name])
+        return stats
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"<SimStats t={self.exec_time:.0f} msgs={self.total_messages} "

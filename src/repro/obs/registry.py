@@ -53,6 +53,8 @@ EVENTS: Dict[str, str] = {
     # processors (component "proc")
     "proc.stall": "processor stalled on the memory system (span)",
     "proc.sync": "processor waited on a lock/barrier (span)",
+    # sweep runner (component "sweep")
+    "sweep.point": "one sweep grid point completed: simulated or cache-loaded (span)",
 }
 
 #: metric instrument name -> one-line description (the metrics glossary)
@@ -70,6 +72,8 @@ METRICS: Dict[str, str] = {
     "sync_cycles": "per-operation lock/barrier wait time",
     # counters
     "retries": "fault-forced request reissues observed",
+    "sweep_cache_hits": "sweep grid points served from the result cache",
+    "sweep_cache_misses": "sweep grid points that required simulation",
     # gauges
     "dir_occupancy_peak": "max live directory entries seen at any home",
 }

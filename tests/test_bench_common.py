@@ -1,13 +1,22 @@
-"""Benchmark results-persistence helpers."""
+"""Benchmark results-persistence helpers and the shared runner entrypoint."""
 
+import argparse
 import json
 
 import pytest
 
 import benchmarks.common as common
+from repro.apps import UniformRandomWorkload
 from repro.machine import MachineConfig, run_workload
 from repro.trace.scripted import ScriptedWorkload
 from repro.trace.event import Read, Write
+
+
+@pytest.fixture(autouse=True)
+def reset_runner():
+    """Runner options are process-wide; restore defaults around each test."""
+    yield
+    common.configure_runner()
 
 
 class TestPlainCoercion:
@@ -52,3 +61,102 @@ class TestSaveResults:
                     "avg_invals_per_event"):
             assert key in summary
         json.dumps(summary)  # must be serializable as-is
+
+
+def grid_points():
+    cfg = MachineConfig(num_clusters=4, l1_bytes=256, l2_bytes=1024)
+    factory = lambda: UniformRandomWorkload(  # noqa: E731
+        4, refs_per_proc=40, heap_blocks=16
+    )
+    return {
+        scheme: (cfg.with_(scheme=scheme), factory)
+        for scheme in ("full", "Dir2B")
+    }
+
+
+class TestRunnerOptions:
+    def test_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        opts = common.configure_runner()
+        assert opts.jobs == 1
+        assert opts.make_cache() is None
+        assert common.active_cache() is None
+
+    def test_cache_dir_enables_cache(self, tmp_path):
+        common.configure_runner(cache_dir=tmp_path)
+        cache = common.active_cache()
+        assert cache is not None
+        assert cache.root == tmp_path
+
+    def test_env_var_enables_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        common.configure_runner()
+        cache = common.active_cache()
+        assert cache is not None
+        assert cache.root == tmp_path / "env-cache"
+
+    def test_no_cache_overrides_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        common.configure_runner(no_cache=True)
+        assert common.active_cache() is None
+
+    def test_flag_parsing_round_trip(self, tmp_path):
+        parser = argparse.ArgumentParser()
+        common.add_runner_args(parser)
+        args = parser.parse_args(
+            ["--jobs", "3", "--cache-dir", str(tmp_path)]
+        )
+        opts = common.apply_runner_args(args)
+        assert opts.jobs == 3
+        assert opts.cache_dir == tmp_path
+        assert not opts.no_cache
+
+
+class TestRunGrid:
+    def test_keys_and_values_match_direct_runs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        common.configure_runner()
+        points = grid_points()
+        results = common.run_grid(points)
+        assert list(results) == ["full", "Dir2B"]
+        for key, (cfg, factory) in points.items():
+            direct = run_workload(cfg, factory())
+            assert results[key].to_dict() == direct.to_dict()
+
+    def test_parallel_matches_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        common.configure_runner()
+        serial = common.run_grid(grid_points())
+        common.configure_runner(jobs=2)
+        parallel = common.run_grid(grid_points())
+        assert {k: v.to_dict() for k, v in parallel.items()} == {
+            k: v.to_dict() for k, v in serial.items()
+        }
+
+    def test_cache_shared_across_grids(self, tmp_path):
+        common.configure_runner(cache_dir=tmp_path)
+        common.run_grid(grid_points())
+        common.run_grid(grid_points())
+        cache = common.active_cache()
+        assert cache.counters()["misses"] == 2
+        assert cache.counters()["hits"] == 2
+
+
+class TestBenchEntry:
+    def test_runs_report_and_configures(self, tmp_path, capsys):
+        calls = []
+
+        def report():
+            calls.append(common.runner_options().jobs)
+
+        code = common.bench_entry(
+            report, ["--jobs", "2", "--cache-dir", str(tmp_path)]
+        )
+        assert code == 0
+        assert calls == [2]
+        assert "cache " in capsys.readouterr().out
+
+    def test_defaults_print_no_summary(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert common.bench_entry(lambda: None, []) == 0
+        assert "cache " not in capsys.readouterr().out

@@ -1,0 +1,136 @@
+"""Content-addressed result cache: keys, round-trips, corruption recovery."""
+
+import json
+
+import pytest
+
+from repro.analysis.cache import (
+    ResultCache,
+    code_fingerprint,
+    point_key,
+    workload_fingerprint,
+)
+from repro.apps import UniformRandomWorkload
+from repro.machine import MachineConfig, run_workload
+from repro.machine.stats import SimStats
+
+
+def small_config(**overrides):
+    cfg = MachineConfig(num_clusters=4, l1_bytes=256, l2_bytes=1024)
+    return cfg.with_(**overrides) if overrides else cfg
+
+
+def small_workload(seed=0):
+    return UniformRandomWorkload(4, refs_per_proc=40, heap_blocks=16, seed=seed)
+
+
+def small_stats():
+    return run_workload(small_config(), small_workload())
+
+
+class TestFingerprints:
+    def test_code_fingerprint_stable_within_process(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+    def test_config_fields_canonical_and_complete(self):
+        fields = small_config().cache_key_fields()
+        assert list(fields) == sorted(fields)
+        assert fields["num_clusters"] == 4
+        assert fields["scheme"] == "full"
+        # every field is JSON-safe as-is
+        json.dumps(fields)
+
+    def test_workload_fingerprint_captures_params(self):
+        fp = workload_fingerprint(small_workload())
+        assert "UniformRandomWorkload" in fp["class"]
+        assert fp["attrs"]["seed"] == 0
+        assert fp["attrs"]["num_processors"] == 4
+        json.dumps(fp)
+
+    def test_key_stable_across_equal_inputs(self):
+        k1 = point_key(small_config(), small_workload())
+        k2 = point_key(small_config(), small_workload())
+        assert k1 == k2
+
+    def test_key_changes_with_config(self):
+        base = point_key(small_config(), small_workload())
+        assert point_key(small_config(scheme="Dir2B"), small_workload()) != base
+        assert point_key(small_config(seed=1), small_workload()) != base
+
+    def test_key_changes_with_workload_seed(self):
+        base = point_key(small_config(), small_workload())
+        assert point_key(small_config(), small_workload(seed=3)) != base
+
+    def test_key_changes_with_check_flag(self):
+        base = point_key(small_config(), small_workload())
+        assert point_key(small_config(), small_workload(), check=True) != base
+
+
+class TestStatsStateRoundTrip:
+    def test_round_trip_preserves_report(self):
+        stats = small_stats()
+        clone = SimStats.from_state(
+            json.loads(json.dumps(stats.to_state()))
+        )
+        assert clone.to_dict() == stats.to_dict()
+        assert clone.inval_distribution() == stats.inval_distribution()
+        assert [vars(p) for p in clone.procs] == [vars(p) for p in stats.procs]
+
+    def test_bad_state_raises(self):
+        with pytest.raises((KeyError, TypeError, ValueError)):
+            SimStats.from_state({"num_processors": 2, "procs": []})
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key(small_config(), small_workload())
+        assert cache.get(key) is None
+        stats = small_stats()
+        cache.put(key, stats)
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert loaded.to_dict() == stats.to_dict()
+        assert cache.counters() == {
+            "hits": 1, "misses": 1, "stores": 1, "corrupt": 0,
+        }
+
+    def test_miss_after_config_change(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(point_key(small_config(), small_workload()), small_stats())
+        other = point_key(small_config(scheme="Dir2B"), small_workload())
+        assert cache.get(other) is None
+
+    def test_corrupt_json_counts_and_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key(small_config(), small_workload())
+        path = cache.put(key, small_stats())
+        path.write_text("{ not json")
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+
+    def test_key_mismatch_counts_as_corrupt(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key(small_config(), small_workload())
+        path = cache.put(key, small_stats())
+        record = json.loads(path.read_text())
+        record["key"] = "0" * 64
+        path.write_text(json.dumps(record))
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+
+    def test_malformed_stats_payload_recovers(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key(small_config(), small_workload())
+        path = cache.put(key, small_stats())
+        record = json.loads(path.read_text())
+        del record["stats"]["messages"]
+        path.write_text(json.dumps(record))
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+
+    def test_summary_mentions_counts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.get("ab" * 32)
+        assert "1 misses" in cache.summary()

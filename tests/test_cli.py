@@ -118,3 +118,58 @@ class TestTraceRoundtrip:
                             "--scheme", "Dir2B")
         assert code == 0
         assert "replayed" in out
+
+
+class TestSweep:
+    def test_basic_grid(self, capsys):
+        code, out = run_cli(capsys, "sweep", "--app", "MP3D", *SMALL,
+                            "--axis", "scheme=full,Dir2B", "--no-cache")
+        assert code == 0
+        assert "2 grid points" in out
+        assert "full" in out and "Dir2B" in out
+        assert "exec_time" in out
+
+    def test_two_axes_parallel(self, capsys):
+        code, out = run_cli(capsys, "sweep", "--app", "MP3D", *SMALL,
+                            "--axis", "scheme=full,Dir2B",
+                            "--axis", "sparse_size_factor=none,1.0",
+                            "--jobs", "2", "--no-cache")
+        assert code == 0
+        assert "4 grid points" in out
+        assert "jobs=2" in out
+
+    def test_parallel_output_matches_serial(self, capsys):
+        argv = ["sweep", "--app", "MP3D", *SMALL,
+                "--axis", "scheme=full,Dir1NB", "--no-cache"]
+        _, serial = run_cli(capsys, *argv)
+        _, parallel = run_cli(capsys, *argv, "--jobs", "2")
+        strip = lambda s: s.split("):", 1)[1]  # noqa: E731 - drop jobs= line
+        assert strip(parallel) == strip(serial)
+
+    def test_cache_warm_rerun(self, capsys, tmp_path):
+        argv = ["sweep", "--app", "MP3D", *SMALL,
+                "--axis", "scheme=full,Dir2B",
+                "--cache-dir", str(tmp_path)]
+        _, cold = run_cli(capsys, *argv)
+        assert "2 misses" in cold and "2 stored" in cold
+        _, warm = run_cli(capsys, *argv)
+        assert "2 hits" in warm and "0 misses" in warm
+
+    def test_progress_in_grid_order(self, capsys):
+        code, out = run_cli(capsys, "sweep", "--app", "MP3D", *SMALL,
+                            "--axis", "scheme=full,Dir2B",
+                            "--jobs", "2", "--no-cache", "--progress")
+        assert code == 0
+        first = out.index("[1/2] scheme=full")
+        second = out.index("[2/2] scheme=Dir2B")
+        assert first < second
+
+    def test_bad_axis_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "sweep", "--app", "MP3D", *SMALL,
+                    "--axis", "schemefull", "--no-cache")
+
+    def test_unknown_field_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "sweep", "--app", "MP3D", *SMALL,
+                    "--axis", "no_such_field=1,2", "--no-cache")

@@ -66,7 +66,8 @@ def test_repo_docs_exist():
     root = Path(repro.__file__).resolve().parent.parent.parent
     for doc in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
                 "docs/protocol.md", "docs/workloads.md",
-                "docs/verification.md", "docs/observability.md"):
+                "docs/verification.md", "docs/observability.md",
+                "docs/parallelism.md"):
         path = root / doc
         assert path.exists(), doc
         assert len(path.read_text()) > 500, f"{doc} looks stubby"
