@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-perf bench-perf-quick examples results clean
+.PHONY: install test bench bench-perf bench-perf-quick chaos examples results clean
 
 # parallel workers for the `results` regeneration (see docs/parallelism.md)
 JOBS ?= 1
@@ -23,6 +23,13 @@ bench-perf:
 # CI perf-regression gate input: smaller workload, same envelope
 bench-perf-quick:
 	PYTHONPATH=src python benchmarks/bench_simulator_throughput.py --quick
+
+# resilience smoke: a sweep under seeded fault injection (killed/hung/
+# failing workers) must complete with results identical to a clean run
+chaos:
+	PYTHONPATH=src python -m repro sweep --app MP3D --procs 8 --scale 0.5 \
+	    --axis scheme=full,Dir2B,Dir1NB --axis sparse_size_factor=none,1.0 \
+	    --jobs 2 --no-cache --chaos 7 --timeout 20 --report sweep_report.json
 
 # regenerate every table/figure report (and results/*.json);
 # e.g.  make results JOBS=4 CACHE_DIR=.repro-cache

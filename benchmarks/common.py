@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.cache import ResultCache, default_cache_dir
+from repro.analysis.supervisor import SupervisorPolicy
 from repro.analysis.sweeps import PointSpec, run_points
 from repro.machine.config import MachineConfig
 from repro.machine.stats import SimStats
@@ -53,6 +54,8 @@ class RunnerOptions:
     jobs: int = 1
     cache_dir: Optional[Path] = None
     no_cache: bool = False
+    timeout: Optional[float] = None
+    retries: Optional[int] = None
 
     def make_cache(self) -> Optional[ResultCache]:
         """A ResultCache honoring the flags, or None when caching is off."""
@@ -60,6 +63,21 @@ class RunnerOptions:
             return None
         root = self.cache_dir or default_cache_dir()
         return ResultCache(root) if root else None
+
+    def make_policy(self) -> Optional[SupervisorPolicy]:
+        """A SupervisorPolicy when --timeout/--retries were given, else None.
+
+        Figure regenerations are long and unattended; opting into a
+        timeout or retry budget routes them through the supervised
+        (liveness-monitored) executor so one wedged point cannot hang
+        the whole run.
+        """
+        if self.timeout is None and self.retries is None:
+            return None
+        return SupervisorPolicy(
+            timeout=self.timeout,
+            max_retries=self.retries if self.retries is not None else 2,
+        )
 
 
 _options = RunnerOptions()
@@ -76,6 +94,8 @@ def configure_runner(
     jobs: int = 1,
     cache_dir: Optional[Path | str] = None,
     no_cache: bool = False,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
 ) -> RunnerOptions:
     """Set the process-wide runner options (used by bench_entry and tests)."""
     global _options, _cache
@@ -83,6 +103,8 @@ def configure_runner(
         jobs=jobs,
         cache_dir=Path(cache_dir) if cache_dir else None,
         no_cache=no_cache,
+        timeout=timeout,
+        retries=retries,
     )
     _cache = _options.make_cache()
     return _options
@@ -111,12 +133,24 @@ def add_runner_args(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="disable the result cache even if $REPRO_CACHE_DIR is set",
     )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock timeout (supervised execution; a hung "
+             "worker is killed and the point retried)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="failed attempts a point may accrue before the run fails "
+             "(default 2 when supervising)",
+    )
 
 
 def apply_runner_args(args: argparse.Namespace) -> RunnerOptions:
     """Configure the process-wide runner from parsed shared flags."""
     return configure_runner(
-        jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache
+        jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache,
+        timeout=getattr(args, "timeout", None),
+        retries=getattr(args, "retries", None),
     )
 
 
@@ -165,7 +199,8 @@ def run_grid(
         for label in labels
     ]
     stats = run_points(
-        specs, jobs=_options.jobs, cache=active_cache()
+        specs, jobs=_options.jobs, cache=active_cache(),
+        policy=_options.make_policy(),
     )
     return dict(zip(labels, stats))
 

@@ -22,6 +22,14 @@ from repro.analysis.distributions import (
     total_variation_distance,
 )
 from repro.analysis.cache import ResultCache, code_fingerprint, point_key
+from repro.analysis.supervisor import (
+    ChaosPlan,
+    SupervisedRunner,
+    SupervisorPolicy,
+    SweepInterrupted,
+    SweepManifest,
+    SweepReport,
+)
 from repro.analysis.sweeps import (
     ParallelRunner,
     PointSpec,
@@ -49,10 +57,16 @@ __all__ = [
     "broadcast_mass",
     "excess_invalidations",
     "total_variation_distance",
+    "ChaosPlan",
     "ParallelRunner",
     "PointSpec",
     "ResultCache",
+    "SupervisedRunner",
+    "SupervisorPolicy",
     "Sweep",
+    "SweepInterrupted",
+    "SweepManifest",
+    "SweepReport",
     "SweepResults",
     "code_fingerprint",
     "load_results_dict",

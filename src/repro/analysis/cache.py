@@ -31,6 +31,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional
 
@@ -44,6 +45,12 @@ CACHE_SCHEMA = 1
 
 #: environment variable consulted for a default cache directory
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: age (seconds) after which an orphaned atomic-write temp file — left
+#: behind by a writer that was killed between ``mkstemp`` and
+#: ``os.replace`` — is garbage-collected on cache startup.  The TTL
+#: keeps a *live* concurrent writer's in-flight temp file safe.
+ORPHAN_TTL = 3600.0
 
 _SCALARS = (str, int, float, bool, type(None))
 
@@ -142,15 +149,42 @@ class ResultCache:
     zero simulations.
     """
 
-    def __init__(self, root: Path | str) -> None:
+    def __init__(self, root: Path | str, *, sweep_orphans: bool = True) -> None:
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        self.orphans = 0
+        if sweep_orphans:
+            self.sweep_orphans()
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def sweep_orphans(self, ttl: float = ORPHAN_TTL) -> int:
+        """Remove atomic-write temp files older than ``ttl`` seconds.
+
+        A writer SIGKILLed between ``mkstemp`` and ``os.replace`` leaks
+        a ``*.tmp`` file that no rerun would ever clean up.  Run on
+        startup; files younger than the TTL are left alone because a
+        concurrent live writer may still be about to rename them.
+        Returns the number of files removed (also accumulated on the
+        ``orphans`` counter).
+        """
+        if not self.root.is_dir():
+            return 0
+        cutoff = time.time() - ttl
+        removed = 0
+        for tmp in self.root.rglob("*.tmp"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                continue  # raced with a concurrent sweep/writer
+        self.orphans += removed
+        return removed
 
     def get(self, key: str) -> Optional[SimStats]:
         """The cached stats for ``key``, or None on miss/corruption."""
@@ -201,12 +235,13 @@ class ResultCache:
         return path
 
     def counters(self) -> Dict[str, int]:
-        """Flat hit/miss/store/corrupt counts for reports and tests."""
+        """Flat hit/miss/store/corrupt/orphan counts for reports and tests."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+            "orphans": self.orphans,
         }
 
     def summary(self) -> str:
@@ -216,6 +251,7 @@ class ResultCache:
             f"cache {self.root}: {c['hits']} hits, {c['misses']} misses, "
             f"{c['stores']} stored"
             + (f", {c['corrupt']} corrupt" if c["corrupt"] else "")
+            + (f", {c['orphans']} orphans swept" if c["orphans"] else "")
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

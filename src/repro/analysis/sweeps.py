@@ -20,12 +20,18 @@ Execution goes through :func:`run_points`, which adds two orthogonal
 accelerations to the serial loop while returning point-for-point
 identical results:
 
-* **parallelism** — ``jobs > 1`` shards the grid across forked worker
-  processes (:class:`ParallelRunner`; deterministic round-robin shard
-  assignment, results reassembled in grid order);
+* **parallelism** — ``jobs > 1`` runs the grid across forked worker
+  processes under the supervised executor
+  (:class:`~repro.analysis.supervisor.SupervisedRunner`: liveness
+  monitoring, per-point timeouts, bounded retry of dead workers,
+  results reassembled in grid order);
 * **caching** — a :class:`~repro.analysis.cache.ResultCache` skips any
   point whose content-addressed key (config + workload identity + code
   fingerprint) already has a stored result.
+
+Resilience knobs (``policy``, ``report``, ``manifest``) are documented
+on :func:`run_points`; :class:`ParallelRunner` remains as the simple
+static-shard executor for callers that want no supervision.
 
 The ``progress`` callback contract holds on every path: it is invoked
 exactly once per *completed* point (simulated or cache-loaded), in
@@ -39,12 +45,23 @@ from __future__ import annotations
 import itertools
 import multiprocessing
 import pickle
+import queue as queue_mod
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.analysis.cache import ResultCache, point_key
 from repro.analysis.report import format_table
+from repro.analysis.supervisor import (
+    ChaosError,
+    SupervisedRunner,
+    SupervisorPolicy,
+    SweepManifest,
+    SweepReport,
+    WorkerDied,
+    fork_context,
+)
 from repro.machine.config import MachineConfig
 from repro.machine.stats import STATS_SCHEMA, SimStats
 from repro.machine.system import run_workload
@@ -174,29 +191,26 @@ class PointSpec:
     label: str = ""
 
 
-def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
-    """The fork multiprocessing context, or None where unsupported.
-
-    Fork is required (not merely preferred) because point specs carry
-    arbitrary callables — lambdas, closures over configs — which spawn
-    would have to pickle.  On platforms without fork the runner degrades
-    to the serial path, which is always correct.
-    """
-    if "fork" not in multiprocessing.get_all_start_methods():
-        return None
-    return multiprocessing.get_context("fork")
+#: backwards-compatible alias; the implementation lives in supervisor.py
+_fork_context = fork_context
 
 
 def _worker_main(
     specs: Sequence[PointSpec],
     shard: Sequence[int],
-    queue: "multiprocessing.queues.SimpleQueue",
+    queue: "multiprocessing.queues.Queue",
 ) -> None:
     """Forked worker: simulate one shard, stream (index, stats, wall) back.
 
     On the first failing point the worker reports ``(index, exception)``
     and exits; its remaining points are accounted for by the parent.
+    Only :class:`Exception` is relayed as a point failure —
+    ``KeyboardInterrupt``/``SystemExit`` terminate the worker, and
+    SIGINT is restored to its default disposition so Ctrl-C is handled
+    once, by the parent (which sees the death through supervision).
     """
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
     for idx in shard:
         spec = specs[idx]
         try:
@@ -205,7 +219,7 @@ def _worker_main(
                 spec.config, spec.workload_factory(), check=spec.check
             )
             queue.put((idx, stats, time.perf_counter() - t0))
-        except BaseException as exc:  # noqa: BLE001 - relayed to the parent
+        except Exception as exc:  # noqa: BLE001 - relayed to the parent
             try:
                 pickle.dumps(exc)
             except Exception:
@@ -243,6 +257,15 @@ class ParallelRunner:
         any point raises, every live shard is drained first and the
         failure with the smallest grid index is re-raised, matching the
         error the serial path would have hit first.
+
+        The receive loop never blocks unconditionally: queue reads are
+        timed and worker exit codes are checked between them, so a
+        worker that dies without enqueueing (OOM kill, segfault,
+        ``SystemExit``) surfaces as a :class:`~repro.analysis.supervisor.
+        WorkerDied` error for its in-flight point instead of a deadlock.
+        An exception escaping ``on_complete`` (or any interrupt)
+        terminates the remaining workers rather than joining them to
+        completion.
         """
         ctx = _fork_context()
         assert ctx is not None, "ParallelRunner requires fork support"
@@ -250,7 +273,7 @@ class ParallelRunner:
             list(indices[w :: self.jobs]) for w in range(self.jobs)
         ]
         shards = [s for s in shards if s]
-        queue = ctx.SimpleQueue()
+        queue = ctx.Queue()
         workers = [
             ctx.Process(
                 target=_worker_main, args=(specs, shard, queue), daemon=True
@@ -263,17 +286,46 @@ class ParallelRunner:
             idx: w for w, shard in enumerate(shards) for idx in shard
         }
         done_in_shard = [0] * len(shards)
+        dead_shards: set = set()
+        suspect_shards: Dict[int, int] = {}
         expected = sum(len(s) for s in shards)
         received = 0
         results: Dict[int, SimStats] = {}
         errors: Dict[int, BaseException] = {}
+        completed = False
         try:
             while received < expected:
-                idx, payload, wall = queue.get()
+                try:
+                    idx, payload, wall = queue.get(timeout=0.2)
+                except queue_mod.Empty:
+                    # liveness check: a shard that died without reporting
+                    # abandons its remaining points with a WorkerDied error.
+                    # Two consecutive empty polls are required so results
+                    # still in the queue pipe when the worker exits get a
+                    # window to arrive before the death is declared.
+                    for w, worker in enumerate(workers):
+                        if w in dead_shards or worker.is_alive():
+                            continue
+                        if done_in_shard[w] >= len(shards[w]):
+                            continue  # shard finished; worker exited cleanly
+                        suspect_shards[w] = suspect_shards.get(w, 0) + 1
+                        if suspect_shards[w] < 2:
+                            continue
+                        dead_shards.add(w)
+                        idx = shards[w][done_in_shard[w]]
+                        errors[idx] = WorkerDied(
+                            f"worker (pid {worker.pid}) exited with code "
+                            f"{worker.exitcode} while running point {idx}"
+                        )
+                        received += len(shards[w]) - done_in_shard[w]
+                    continue
                 w = shard_of[idx]
+                suspect_shards.pop(w, None)
                 done_in_shard[w] += 1
                 if wall is None:
-                    # shard w died at idx: its unfinished points never arrive
+                    # shard w failed at idx: its unfinished points never
+                    # arrive (the worker exits after reporting)
+                    dead_shards.add(w)
                     errors[idx] = payload
                     received += len(shards[w]) - done_in_shard[w] + 1
                     continue
@@ -281,11 +333,14 @@ class ParallelRunner:
                 results[idx] = payload
                 if on_complete is not None:
                     on_complete(idx, payload, wall)
+            completed = True
         finally:
             for worker in workers:
-                if errors:
+                if errors or not completed:
                     worker.terminate()
                 worker.join()
+            queue.close()
+            queue.cancel_join_thread()
         if errors:
             raise errors[min(errors)]
         return results
@@ -298,8 +353,11 @@ def run_points(
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[int, SimStats], None]] = None,
     obs: Optional[Tracer] = None,
-) -> List[SimStats]:
-    """Execute point specs with optional parallelism and result caching.
+    policy: Optional[SupervisorPolicy] = None,
+    report: Optional[SweepReport] = None,
+    manifest: Optional[SweepManifest] = None,
+) -> List[Optional[SimStats]]:
+    """Execute point specs with parallelism, caching, and supervision.
 
     The shared engine behind :meth:`Sweep.run` and the benchmark runner
     (``benchmarks.common.run_grid``).  Returns stats in spec order,
@@ -307,21 +365,48 @@ def run_points(
     follows the contract documented at module level.  ``obs`` emits one
     ``sweep.point`` span per completed point plus ``sweep_cache_hits`` /
     ``sweep_cache_misses`` counters through the declared registry names.
+
+    Resilience: the parallel path always runs under
+    :class:`~repro.analysis.supervisor.SupervisedRunner` — a worker
+    death can no longer hang the sweep; the point is retried with
+    backoff.  Passing an explicit ``policy`` additionally enables
+    per-point timeouts, keep-going quarantine, chaos injection, and
+    forces the supervised (forked) path even at ``jobs=1`` so timeouts
+    can be enforced.  Under ``policy.keep_going`` a quarantined point's
+    slot in the returned list is ``None`` (and ``progress`` never fires
+    for it; later points still deliver in order).  ``report``
+    accumulates per-point :class:`~repro.analysis.supervisor.
+    PointOutcome` records; ``manifest`` persists per-point status for
+    ``repro sweep --resume``.
     """
     obs = obs if obs is not None else NULL_TRACER
+    supervised = policy is not None
+    pol = policy if policy is not None else SupervisorPolicy()
     n = len(specs)
     stats_by_index: Dict[int, SimStats] = {}
+    skipped: set = set()
     cached = set()
     keys: Dict[int, str] = {}
-    if cache is not None:
+    if cache is not None or manifest is not None:
         for i, spec in enumerate(specs):
             keys[i] = point_key(
                 spec.config, spec.workload_factory(), check=spec.check
             )
+    if cache is not None:
+        for i in range(n):
             hit = cache.get(keys[i])
             if hit is not None:
                 stats_by_index[i] = hit
                 cached.add(i)
+                if report is not None:
+                    report.mark_cached(i, specs[i].label)
+                if manifest is not None:
+                    manifest.statuses[i] = "cached"
+    if manifest is not None:
+        for i in range(n):
+            if i not in cached:
+                manifest.statuses[i] = "pending"
+        manifest.save()
     if obs.enabled:
         obs.metrics.counter("sweep_cache_hits").inc(len(cached))
         obs.metrics.counter("sweep_cache_misses").inc(n - len(cached))
@@ -330,10 +415,14 @@ def run_points(
     next_i = 0
 
     def _deliver_prefix() -> None:
-        """Fire progress for the contiguous completed prefix, in order."""
+        """Fire progress for the contiguous resolved prefix, in order.
+
+        Quarantined points resolve without stats: they are skipped (no
+        progress call) so delivery of later completed points continues.
+        """
         nonlocal next_i
-        while next_i < n and next_i in stats_by_index:
-            if progress is not None:
+        while next_i < n and (next_i in stats_by_index or next_i in skipped):
+            if next_i in stats_by_index and progress is not None:
                 progress(next_i, stats_by_index[next_i])
             next_i += 1
 
@@ -341,6 +430,8 @@ def run_points(
         stats_by_index[i] = stats
         if cache is not None:
             cache.put(keys[i], stats)
+        if manifest is not None:
+            manifest.mark(i, "completed")
         if obs.enabled:
             obs.emit(
                 "sweep.point",
@@ -349,6 +440,12 @@ def run_points(
                 comp="sweep",
                 args={"index": i, "cached": False, "label": specs[i].label},
             )
+        _deliver_prefix()
+
+    def _quarantine(i: int, exc: BaseException) -> None:
+        skipped.add(i)
+        if manifest is not None:
+            manifest.mark(i, "quarantined")
         _deliver_prefix()
 
     if obs.enabled:
@@ -361,21 +458,85 @@ def run_points(
                 args={"index": i, "cached": True, "label": specs[i].label},
             )
 
-    if jobs > 1 and len(misses) > 1 and _fork_context() is not None:
-        runner = ParallelRunner(min(jobs, len(misses)))
+    fork_ok = _fork_context() is not None
+    use_workers = fork_ok and misses and (
+        (jobs > 1 and len(misses) > 1) or supervised
+    )
+    if pol.chaos is not None and not use_workers and misses:
+        raise RuntimeError("chaos injection requires fork-based workers")
+    if use_workers:
+        runner = SupervisedRunner(
+            max(1, min(jobs, len(misses))), pol, obs=obs
+        )
         _deliver_prefix()
-        runner.run(specs, misses, on_complete=_record)
+        runner.run(
+            specs, misses, on_complete=_record,
+            on_quarantine=_quarantine, report=report,
+        )
     else:
         _deliver_prefix()
         for i in misses:
-            spec = specs[i]
+            _run_point_serial(
+                specs[i], i, pol if supervised else None,
+                _record, _quarantine, report, obs,
+            )
+    assert next_i == n, "internal error: sweep points missing"
+    return [stats_by_index.get(i) for i in range(n)]
+
+
+def _run_point_serial(
+    spec: PointSpec,
+    i: int,
+    policy: Optional[SupervisorPolicy],
+    record: Callable[[int, SimStats, float], None],
+    quarantine: Callable[[int, BaseException], None],
+    report: Optional[SweepReport],
+    obs: Tracer,
+) -> None:
+    """One in-process point with the serial subset of the retry policy.
+
+    The fork-free fallback cannot preempt a hung simulation, so
+    ``timeout`` and ``chaos`` do not apply; bounded retry of exceptions
+    (when ``retry_errors``) and keep-going quarantine still do.
+    """
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
             t0 = time.perf_counter()
             stats = run_workload(
                 spec.config, spec.workload_factory(), check=spec.check
             )
-            _record(i, stats, time.perf_counter() - t0)
-    assert next_i == n, "internal error: sweep points missing"
-    return [stats_by_index[i] for i in range(n)]
+            wall = time.perf_counter() - t0
+            if report is not None:
+                report.mark_completed(i, spec.label, wall)
+            record(i, stats, wall)
+            return
+        except Exception as exc:
+            if policy is not None and attempt <= policy.max_retries and (
+                policy.retry_errors or isinstance(exc, ChaosError)
+            ):
+                if report is not None:
+                    report.mark_retry(i, "error", spec.label)
+                if obs.enabled:
+                    obs.metrics.counter("sweep_retries").inc()
+                    obs.emit(
+                        "sweep.retry", ts=obs.now(), comp="sweep",
+                        args={"index": i, "kind": "error",
+                              "attempt": attempt, "label": spec.label},
+                    )
+                time.sleep(policy.backoff * (2 ** (attempt - 1)))
+                continue
+            if policy is not None and policy.keep_going:
+                if report is not None:
+                    report.mark_quarantined(i, exc, label=spec.label)
+                if obs.enabled:
+                    obs.metrics.counter("sweep_quarantined").inc()
+                quarantine(i, exc)
+                return
+            if report is not None:
+                report.mark_failed(i, exc, spec.label)
+            raise
 
 
 class Sweep:
@@ -425,6 +586,22 @@ class Sweep:
             for combo in itertools.product(*(vals for _, vals in self._axes))
         ]
 
+    def specs(self) -> List[PointSpec]:
+        """One :class:`PointSpec` per grid point, in deterministic order.
+
+        Exposed so callers (the CLI's resume manifest, tests) can derive
+        content-addressed point keys without running the sweep.
+        """
+        return [
+            PointSpec(
+                config=self.base.with_(**overrides),
+                workload_factory=self.workload_factory,
+                check=self.check_coherence,
+                label=",".join(f"{k}={v}" for k, v in overrides.items()),
+            )
+            for overrides in self.grid()
+        ]
+
     def run(
         self,
         *,
@@ -432,6 +609,9 @@ class Sweep:
         cache: Optional[ResultCache] = None,
         progress: Optional[Callable[[Mapping[str, Any], SimStats], None]] = None,
         obs: Optional[Tracer] = None,
+        policy: Optional[SupervisorPolicy] = None,
+        report: Optional[SweepReport] = None,
+        manifest: Optional[SweepManifest] = None,
     ) -> SweepResults:
         """Run every grid point; optionally parallel, cached, and traced.
 
@@ -443,25 +623,23 @@ class Sweep:
         holds under ``jobs > 1`` and, on failure, covers exactly the
         points before the first grid-order error.  ``obs`` — a tracer
         receiving per-point ``sweep.point`` spans and cache counters.
+        ``policy``/``report``/``manifest`` — supervision knobs, see
+        :func:`run_points`; under ``policy.keep_going`` quarantined
+        points are simply absent from the returned results (the
+        ``report`` records why).
         """
         grid = self.grid()
-        specs = [
-            PointSpec(
-                config=self.base.with_(**overrides),
-                workload_factory=self.workload_factory,
-                check=self.check_coherence,
-                label=",".join(f"{k}={v}" for k, v in overrides.items()),
-            )
-            for overrides in grid
-        ]
+        specs = self.specs()
         wrapped = None
         if progress is not None:
             wrapped = lambda i, stats: progress(grid[i], stats)  # noqa: E731
         stats_list = run_points(
-            specs, jobs=jobs, cache=cache, progress=wrapped, obs=obs
+            specs, jobs=jobs, cache=cache, progress=wrapped, obs=obs,
+            policy=policy, report=report, manifest=manifest,
         )
         points = [
             SweepPoint(tuple(overrides.items()), stats)
             for overrides, stats in zip(grid, stats_list)
+            if stats is not None
         ]
         return SweepResults(self.axis_names, points)

@@ -140,8 +140,15 @@ def _axis_value(token: str):
 
 
 def cmd_sweep(args) -> int:
-    """``repro sweep``: a config-axis grid, optionally parallel and cached."""
-    from repro.analysis.cache import ResultCache, default_cache_dir
+    """``repro sweep``: a config-axis grid — parallel, cached, supervised."""
+    from repro.analysis.cache import ResultCache, default_cache_dir, point_key
+    from repro.analysis.supervisor import (
+        ChaosPlan,
+        SupervisorPolicy,
+        SweepInterrupted,
+        SweepManifest,
+        SweepReport,
+    )
     from repro.analysis.sweeps import Sweep
 
     sweep = Sweep(
@@ -164,6 +171,48 @@ def cmd_sweep(args) -> int:
         root = args.cache_dir or default_cache_dir()
         if root:
             cache = ResultCache(root)
+
+    # supervision: any resilience flag opts the sweep into the
+    # supervised (forked, liveness-monitored) execution path
+    chaos = ChaosPlan(seed=args.chaos) if args.chaos is not None else None
+    supervise = (
+        chaos is not None or args.timeout is not None
+        or args.retries is not None or args.keep_going or args.resume
+    )
+    policy = None
+    if supervise:
+        timeout = args.timeout
+        if timeout is None and chaos is not None:
+            timeout = 30.0  # chaos injects hung points; they must be reaped
+        policy = SupervisorPolicy(
+            timeout=timeout,
+            max_retries=args.retries if args.retries is not None else 3,
+            retry_errors=chaos is not None,
+            keep_going=args.keep_going,
+            chaos=chaos,
+        )
+    report = SweepReport() if (supervise or args.report) else None
+
+    manifest = None
+    if args.resume and cache is None:
+        raise SystemExit(
+            "--resume needs a result cache; pass --cache-dir DIR "
+            "(or set $REPRO_CACHE_DIR) and drop --no-cache"
+        )
+    if cache is not None:
+        specs = sweep.specs()
+        keys = [
+            point_key(s.config, s.workload_factory(), check=s.check)
+            for s in specs
+        ]
+        manifest = SweepManifest.for_sweep(
+            cache.root, keys, [s.label for s in specs]
+        )
+        if args.resume:
+            done = manifest.done_indices()
+            print(f"resuming sweep {manifest.sweep_key[:12]}: "
+                  f"{len(done)}/{len(keys)} points already recorded")
+
     progress = None
     if args.progress:
         total = len(sweep.grid())
@@ -174,11 +223,31 @@ def cmd_sweep(args) -> int:
             print(f"[{_counter[0]}/{total}] {label}: "
                   f"t={stats.exec_time:,.0f} msgs={stats.total_messages:,}")
 
-    results = sweep.run(jobs=args.jobs, cache=cache, progress=progress)
+    try:
+        results = sweep.run(
+            jobs=args.jobs, cache=cache, progress=progress,
+            policy=policy, report=report, manifest=manifest,
+        )
+    except SweepInterrupted as exc:
+        print(f"\n{exc}")
+        if report is not None and args.report:
+            report.save(args.report)
+            print(f"wrote {args.report}")
+        if cache is not None:
+            print("rerun with --resume to execute only the missing points")
+        return 130
     metrics = [m for m in args.metrics.split(",") if m]
     print(f"{args.app} on {args.procs} processors, "
           f"{len(results)} grid points (jobs={args.jobs}):")
     print(results.table(metrics))
+    if report is not None:
+        print(f"\n[{report.summary()}]")
+        for outcome in report.quarantined:
+            print(f"  quarantined [{outcome.index}] {outcome.label}: "
+                  f"{outcome.error}")
+        if args.report:
+            report.save(args.report)
+            print(f"wrote {args.report}")
     if cache is not None:
         print(f"\n[{cache.summary()}]")
     return 0
@@ -359,6 +428,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics",
                    default="exec_time,total_messages,invalidation_events",
                    help="comma-separated stat columns for the table")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-point wall-clock timeout; a hung worker is "
+                        "killed and the point retried")
+    p.add_argument("--retries", type=int, default=None, metavar="N",
+                   help="failed attempts a point may accrue before it is "
+                        "permanent (default 3 when supervising)")
+    p.add_argument("--keep-going", action="store_true",
+                   help="quarantine points that exhaust their retries and "
+                        "finish the sweep instead of raising")
+    p.add_argument("--resume", action="store_true",
+                   help="rerun an interrupted sweep, executing only points "
+                        "the manifest/cache does not already hold "
+                        "(requires a cache)")
+    p.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                   help="chaos harness: deterministically SIGKILL workers "
+                        "and inject hung/failing points; results must "
+                        "match a fault-free run")
+    p.add_argument("--report", default=None, metavar="PATH",
+                   help="write the per-point SweepReport JSON here")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("compare", help="one app across several schemes")

@@ -55,6 +55,8 @@ EVENTS: Dict[str, str] = {
     "proc.sync": "processor waited on a lock/barrier (span)",
     # sweep runner (component "sweep")
     "sweep.point": "one sweep grid point completed: simulated or cache-loaded (span)",
+    "sweep.retry": "sweep point attempt rescheduled after a worker death, "
+                   "timeout, or injected failure (instant)",
 }
 
 #: metric instrument name -> one-line description (the metrics glossary)
@@ -74,6 +76,12 @@ METRICS: Dict[str, str] = {
     "retries": "fault-forced request reissues observed",
     "sweep_cache_hits": "sweep grid points served from the result cache",
     "sweep_cache_misses": "sweep grid points that required simulation",
+    "sweep_retries": "sweep point attempts retried after worker death, "
+                     "timeout, or failure",
+    "sweep_timeouts": "sweep point attempts reaped by the per-point "
+                      "wall-clock timeout",
+    "sweep_quarantined": "sweep points quarantined under keep-going after "
+                         "exhausting retries",
     # gauges
     "dir_occupancy_peak": "max live directory entries seen at any home",
 }

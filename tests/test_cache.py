@@ -1,6 +1,8 @@
 """Content-addressed result cache: keys, round-trips, corruption recovery."""
 
 import json
+import os
+import time
 
 import pytest
 
@@ -93,7 +95,7 @@ class TestResultCache:
         assert loaded is not None
         assert loaded.to_dict() == stats.to_dict()
         assert cache.counters() == {
-            "hits": 1, "misses": 1, "stores": 1, "corrupt": 0,
+            "hits": 1, "misses": 1, "stores": 1, "corrupt": 0, "orphans": 0,
         }
 
     def test_miss_after_config_change(self, tmp_path):
@@ -130,7 +132,54 @@ class TestResultCache:
         assert cache.get(key) is None
         assert cache.corrupt == 1
 
+    def test_truncated_entry_counts_as_corrupt(self, tmp_path):
+        """A writer killed mid-write must read as corruption, not garbage."""
+        cache = ResultCache(tmp_path)
+        key = point_key(small_config(), small_workload())
+        path = cache.put(key, small_stats())
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])
+        assert cache.get(key) is None
+        assert cache.corrupt == 1
+
     def test_summary_mentions_counts(self, tmp_path):
         cache = ResultCache(tmp_path)
         cache.get("ab" * 32)
         assert "1 misses" in cache.summary()
+
+
+class TestOrphanSweep:
+    def stale_tmp(self, root, name="deadbeef.json12345.tmp"):
+        sub = root / name[:2]
+        sub.mkdir(parents=True, exist_ok=True)
+        tmp = sub / name
+        tmp.write_text("{ partial")
+        old = time.time() - 7200
+        os.utime(tmp, (old, old))
+        return tmp
+
+    def test_old_tmp_files_swept_on_startup(self, tmp_path):
+        stale = self.stale_tmp(tmp_path)
+        fresh = tmp_path / "de" / "cafef00d.json67890.tmp"
+        fresh.write_text("{ in flight")
+        cache = ResultCache(tmp_path)
+        assert not stale.exists()  # aged orphan removed
+        assert fresh.exists()  # live writer's temp file kept
+        assert cache.counters()["orphans"] == 1
+        assert "1 orphans swept" in cache.summary()
+
+    def test_sweep_can_be_disabled(self, tmp_path):
+        stale = self.stale_tmp(tmp_path)
+        cache = ResultCache(tmp_path, sweep_orphans=False)
+        assert stale.exists()
+        assert cache.counters()["orphans"] == 0
+
+    def test_orphans_never_shadow_entries(self, tmp_path):
+        """An orphaned temp file beside a valid entry does not affect reads."""
+        cache = ResultCache(tmp_path)
+        key = point_key(small_config(), small_workload())
+        cache.put(key, small_stats())
+        self.stale_tmp(tmp_path, name=f"{key}.json999.tmp")
+        again = ResultCache(tmp_path)
+        assert again.counters()["orphans"] == 1
+        assert again.get(key) is not None

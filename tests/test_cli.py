@@ -164,6 +164,53 @@ class TestSweep:
         second = out.index("[2/2] scheme=Dir2B")
         assert first < second
 
+    def test_chaos_run_with_report(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "report.json"
+        code, out = run_cli(capsys, "sweep", "--app", "MP3D", *SMALL,
+                            "--axis", "scheme=full,Dir2B", "--jobs", "2",
+                            "--no-cache", "--chaos", "3",
+                            "--report", str(report))
+        assert code == 0
+        assert "sweep report:" in out
+        record = json.loads(report.read_text())
+        assert record["schema"] == 1
+        assert record["counts"]["completed"] == 2
+
+    def test_chaos_output_matches_clean_run(self, capsys):
+        argv = ["sweep", "--app", "MP3D", *SMALL,
+                "--axis", "scheme=full,Dir1NB", "--no-cache"]
+        _, clean = run_cli(capsys, *argv)
+        _, chaotic = run_cli(capsys, *argv, "--jobs", "2", "--chaos", "5")
+        strip = lambda s: s.split("):", 1)[1]  # noqa: E731 - drop jobs= line
+        # the table (everything before the report line) is byte-identical
+        table = strip(chaotic).split("\n[sweep")[0].rstrip("\n")
+        assert table == strip(clean).rstrip("\n")
+
+    def test_keep_going_quarantines_poison_point(self, capsys):
+        code, out = run_cli(capsys, "sweep", "--app", "MP3D", *SMALL,
+                            "--axis", "scheme=full,no-such-scheme",
+                            "--no-cache", "--keep-going", "--retries", "0")
+        assert code == 0
+        assert "1 quarantined" in out
+        assert "quarantined [1] scheme=no-such-scheme" in out
+
+    def test_resume_requires_cache(self, capsys):
+        with pytest.raises(SystemExit, match="--resume needs a result cache"):
+            run_cli(capsys, "sweep", "--app", "MP3D", *SMALL,
+                    "--axis", "scheme=full", "--no-cache", "--resume")
+
+    def test_resume_reports_prior_points(self, capsys, tmp_path):
+        argv = ["sweep", "--app", "MP3D", *SMALL,
+                "--axis", "scheme=full,Dir2B", "--cache-dir", str(tmp_path)]
+        run_cli(capsys, *argv)
+        code, out = run_cli(capsys, *argv, "--resume")
+        assert code == 0
+        assert "resuming sweep" in out
+        assert "2/2 points already recorded" in out
+        assert "2 hits" in out
+
     def test_bad_axis_rejected(self, capsys):
         with pytest.raises(SystemExit):
             run_cli(capsys, "sweep", "--app", "MP3D", *SMALL,
