@@ -11,7 +11,9 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.machine.stats import SimStats
+    from repro.verify.conformance import ConformanceResult
     from repro.verify.explorer import ExploreResult
+    from repro.verify.liveness import LivenessResult
 
 
 def format_table(
@@ -88,22 +90,75 @@ def format_verification_report(results: Iterable["ExploreResult"]) -> str:
 
     The verdict column is ``ok`` for an exhausted, violation-free state
     space, ``TRUNCATED`` when the state bound cut the search short, or
-    the name of the violated invariant.
+    the name of the violated invariant.  When any result ran with
+    partial-order reduction, ``pruned`` (actions skipped) and ``canon``
+    (canonicalizer used) columns are appended.
     """
+    materialized = list(results)
+    por = any(getattr(r, "por", False) for r in materialized)
     rows: List[Sequence[object]] = []
-    for r in results:
+    for r in materialized:
         if r.violation is not None:
             verdict = r.violation.invariant
         elif r.truncated:
             verdict = "TRUNCATED"
         else:
             verdict = "ok"
+        row: List[object] = [
+            r.scheme, r.num_nodes, r.states, r.transitions, r.max_depth,
+            verdict,
+        ]
+        if por:
+            row[5:5] = [r.pruned, r.canonicalizer]
+        rows.append(row)
+    headers = ["scheme", "nodes", "states", "transitions", "depth", "verdict"]
+    if por:
+        headers[5:5] = ["pruned", "canon"]
+    return format_table(headers, rows)
+
+
+def format_liveness_report(results: Iterable["LivenessResult"]) -> str:
+    """One row per liveness-checked configuration (``check --liveness``).
+
+    The verdict is ``ok`` for a graph free of fair starvation/livelock
+    cycles, ``TRUNCATED`` when the state bound bit, or the violated
+    property name.
+    """
+    rows: List[Sequence[object]] = []
+    for r in results:
+        if r.violation is not None:
+            verdict = r.violation.property
+        elif r.truncated:
+            verdict = "TRUNCATED"
+        else:
+            verdict = "ok"
         rows.append(
-            [r.scheme, r.num_nodes, r.states, r.transitions, r.max_depth,
-             verdict]
+            [r.scheme, r.num_nodes, r.states, r.transitions, r.sccs,
+             r.fair_sccs, verdict]
         )
     return format_table(
-        ["scheme", "nodes", "states", "transitions", "depth", "verdict"], rows
+        ["scheme", "nodes", "states", "transitions", "sccs", "fair",
+         "verdict"],
+        rows,
+    )
+
+
+def format_conformance_table(results: Iterable["ConformanceResult"]) -> str:
+    """One row per conformance-checked trace (``repro verify conform``)."""
+    rows: List[Sequence[object]] = []
+    for r in results:
+        repairs = (
+            r.drops_inserted + r.cancelled_wb_skipped + r.still_shared_wbs
+            + r.hints_applied + r.sparse_recalls
+        )
+        rows.append(
+            [r.trace, r.scheme, r.num_nodes, r.blocks, r.events, repairs,
+             "ok" if r.ok else "DIVERGED"]
+        )
+    return format_table(
+        ["trace", "scheme", "nodes", "blocks", "events", "repairs",
+         "verdict"],
+        rows,
     )
 
 

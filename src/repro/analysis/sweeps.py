@@ -49,7 +49,18 @@ import queue as queue_mod
 import signal
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.analysis.cache import ResultCache, point_key
 from repro.analysis.report import format_table
@@ -140,10 +151,10 @@ class SweepResults:
     def __len__(self) -> int:
         return len(self.points)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[SweepPoint]:
         return iter(self.points)
 
-    def filter(self, **criteria) -> "SweepResults":
+    def filter(self, **criteria: object) -> "SweepResults":
         """Points whose overrides match all the given values."""
         kept = [
             p

@@ -58,7 +58,8 @@ class Transaction:
     """One memory transaction travelling to a home directory."""
 
     __slots__ = ("kind", "block", "requester", "proc_idx", "on_complete",
-                 "still_shared", "attempts", "delivered", "t_arrive")
+                 "still_shared", "attempts", "delivered", "t_arrive",
+                 "t_start")
 
     def __init__(
         self,
@@ -81,6 +82,10 @@ class Transaction:
         self.delivered = False
         #: acceptance time at the home (observability's dir.service span)
         self.t_arrive = 0.0
+        #: execution start — when the directory state actually changes
+        #: (later than t_arrive if the block was busy or the controller
+        #: occupied); trace conformance orders services by this instant
+        self.t_start = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Txn {self.kind} block={self.block} from={self.requester}>"
@@ -265,6 +270,7 @@ class DirectoryController:
         """Queue on the controller (FIFO occupancy), then execute."""
         now = self.machine.events.now
         start = max(now, self._ctrl_free)
+        txn.t_start = start
         self._ctrl_free = start + self.machine.config.ctrl_occupancy_cycles
         if start > now:
             self.machine.events.at(start, lambda: self._execute(txn))
@@ -310,14 +316,22 @@ class DirectoryController:
         now = self.machine.events.now
         obs = self.machine.obs
         if obs.enabled:
+            # t_start (and, for writebacks, the resolved still_shared flag)
+            # lets repro.verify.conformance order and interpret services by
+            # the instant the directory state actually changed
+            args: Dict[str, object] = {
+                "kind": txn.kind, "block": txn.block,
+                "requester": txn.requester, "t_start": txn.t_start,
+            }
+            if txn.kind == WRITEBACK:
+                args["still_shared"] = txn.still_shared
             obs.emit(
                 "dir.service",
                 ts=txn.t_arrive,
                 dur=now - txn.t_arrive,
                 comp="directory",
                 tid=self.cluster_id,
-                args={"kind": txn.kind, "block": txn.block,
-                      "requester": txn.requester},
+                args=args,
             )
         if txn.on_complete is not None:
             # Completion effects (requester fill, processor resume) must be
@@ -638,6 +652,9 @@ class DirectoryController:
             still_shared = txn.still_shared or self.machine.clusters[
                 req
             ].copies_besides_wb(txn.block)
+            # record the *resolved* flag so the traced dir.service event
+            # tells conformance whether the cluster kept a clean copy
+            txn.still_shared = still_shared
             if still_shared:
                 # Another cache in the evicting cluster still holds the
                 # block: keep the cluster recorded as a (clean) sharer.
@@ -694,7 +711,8 @@ class DirectoryController:
             if machine.obs.enabled:
                 machine.obs.emit_now(
                     "dir.sparse_evict", comp="directory", tid=home,
-                    args={"block": ev.block, "targets": len(ev.targets)},
+                    args={"block": ev.block, "targets": len(ev.targets),
+                          "nodes": sorted(ev.targets)},
                 )
             if ev.targets:
                 machine.stats.record_inval_event(InvalCause.SPARSE_REPL, inval_msgs)

@@ -22,7 +22,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 
 @dataclass
@@ -118,11 +118,11 @@ class PhaseProfiler:
 
 
 def profile_run(
-    build,
+    build: Callable[[], Any],
     *,
     tracer: object = None,
     max_events: Optional[int] = None,
-):
+) -> Tuple[Any, Any, "PhaseProfiler"]:
     """Run ``build()`` -> system through build/run phases; returns
     ``(system, stats, profiler)`` — the standard traced-run shape used
     by ``repro obs trace`` and the telemetry benchmarks."""

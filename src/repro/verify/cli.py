@@ -1,26 +1,37 @@
-"""``python -m repro.verify``: model-check and lint from the command line.
+"""``python -m repro.verify``: model-check, lint, and trace conformance.
 
 Subcommands::
 
     python -m repro.verify check --scheme Dir1CV2 -n 4
-    python -m repro.verify check --scheme full -n 3 --sparse-ways 1 --lines 2
+    python -m repro.verify check --scheme Dir4B -n 8 --por --stats stats.json
+    python -m repro.verify check --scheme full -n 4 --cross-check
+    python -m repro.verify check --scheme full -n 3 --liveness
+    python -m repro.verify conform trace.json
     python -m repro.verify lint src/repro
     python -m repro.verify lint --list-rules
 
 ``check`` exits 0 only when the bounded state space was exhausted with no
-violation; a violation prints the minimal counterexample trace.  ``lint``
-exits 0 when no findings survive inline suppressions.
+violation; a violation prints the minimal counterexample trace.  With
+``--por`` the explorer prunes independent interleavings (ample sets) —
+same verdicts, far fewer states; ``--cross-check`` runs both full BFS
+and POR and fails unless the verdicts agree.  ``--liveness`` additionally
+searches for fairness-violating cycles (starved requests, livelocks) and
+prints the lasso counterexample.  ``conform`` replays a recorded
+:mod:`repro.obs` trace through the protocol model and rejects the first
+traced event the model would not allow.  ``lint`` exits 0 when no
+findings survive inline suppressions.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.registry import make_scheme
-from repro.verify.explorer import explore
+from repro.verify.explorer import ExploreResult, explore, por_cross_check
 from repro.verify.lint import LINT_RULES, run_lint
 from repro.verify.model import ModelConfig
 
@@ -38,6 +49,18 @@ def _config_for(args: argparse.Namespace, name: str) -> ModelConfig:
     )
 
 
+def _write_stats(args: argparse.Namespace, payload: object) -> None:
+    """Write the ``--stats`` JSON report (``-`` streams to stdout)."""
+    if not args.stats:
+        return
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if args.stats == "-":
+        sys.stdout.write(text)
+    else:
+        Path(args.stats).write_text(text)
+        print(f"wrote stats to {args.stats}")
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """Exhaustively explore the bounded state space of each scheme.
 
@@ -51,13 +74,15 @@ def cmd_check(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     try:
+        if args.cross_check:
+            return _cross_check(args, names)
         if len(names) > 1:
             return _check_many(args, names)
         cfg = _config_for(args, names[0])
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = explore(cfg)
+    result = explore(cfg, por=args.por)
     store = "full map" if args.sparse_ways is None else (
         f"sparse 1x{args.sparse_ways}"
     )
@@ -65,11 +90,20 @@ def cmd_check(args: argparse.Namespace) -> int:
         f"{result.scheme} on {result.num_nodes} nodes, "
         f"{len(cfg.blocks)} line(s), {store}, "
         f"<= {cfg.max_inflight} in-flight"
+        + (f", POR ({result.canonicalizer} canon)" if result.por else "")
     )
     print(
         f"states: {result.states:,}  transitions: {result.transitions:,}  "
         f"max depth: {result.max_depth}  merged: {result.merged:,}"
+        + (
+            f"  pruned actions: {result.pruned:,} "
+            f"(ample at {result.ample_states:,} states)"
+            if result.por
+            else ""
+        )
     )
+    _write_stats(args, result.stats_dict())
+    status = 0
     if result.violation is not None:
         print("counterexample (minimal):")
         print(result.violation.format())
@@ -81,14 +115,18 @@ def cmd_check(args: argparse.Namespace) -> int:
         )
         return 2
     print("ok: every reachable state satisfies the coherence invariants")
-    return 0
+    if args.liveness:
+        status = _liveness([names[0]], args)
+    return status
 
 
 def _check_many(args: argparse.Namespace, names: Sequence[str]) -> int:
     from repro.analysis.report import format_verification_report
 
-    results = [explore(_config_for(args, name)) for name in names]
+    results = [explore(_config_for(args, name), por=args.por)
+               for name in names]
     print(format_verification_report(results))
+    _write_stats(args, [r.stats_dict() for r in results])
     for result in results:
         if result.violation is not None:
             print(f"\ncounterexample for {result.scheme} (minimal):")
@@ -100,7 +138,90 @@ def _check_many(args: argparse.Namespace, names: Sequence[str]) -> int:
             f"raise --max-states or shrink the config", file=sys.stderr,
         )
         return 2
+    if args.liveness:
+        return _liveness(names, args)
     return 0
+
+
+def _cross_check(args: argparse.Namespace, names: Sequence[str]) -> int:
+    """POR soundness mode: full BFS vs POR must agree on every verdict."""
+    from repro.analysis.report import format_verification_report
+
+    rows: List[ExploreResult] = []
+    stats: List[Dict[str, object]] = []
+    disagreements = []
+    violated = False
+    for name in names:
+        full, reduced, agree = por_cross_check(_config_for(args, name))
+        rows.extend([full, reduced])
+        stats.append({
+            "scheme": name,
+            "full": full.stats_dict(),
+            "por": reduced.stats_dict(),
+            "agree": agree,
+        })
+        if not agree:
+            disagreements.append(name)
+        if full.violation is not None or reduced.violation is not None:
+            violated = True
+        print(
+            f"{name}: full {full.states:,} states ({full.verdict}) vs "
+            f"POR {reduced.states:,} states ({reduced.verdict}) — "
+            f"{'agree' if agree else 'DISAGREE'}"
+        )
+    print()
+    print(format_verification_report(rows))
+    _write_stats(args, stats)
+    if disagreements:
+        print(
+            f"POR cross-check FAILED for: {', '.join(disagreements)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("cross-check ok: POR and full BFS verdicts agree")
+    return 1 if violated else 0
+
+
+def _liveness(names: Sequence[str], args: argparse.Namespace) -> int:
+    """Fairness-constrained cycle detection over each scheme's graph."""
+    from repro.analysis.report import format_liveness_report
+    from repro.verify.liveness import check_liveness
+
+    results = [check_liveness(_config_for(args, name)) for name in names]
+    print()
+    print(format_liveness_report(results))
+    for result in results:
+        if result.violation is not None:
+            print(f"\nlasso counterexample for {result.scheme}:")
+            print(result.violation.format())
+            return 1
+    if any(r.truncated for r in results):
+        print(
+            f"liveness state bound hit ({args.max_states:,}): incomplete",
+            file=sys.stderr,
+        )
+        return 2
+    print("liveness ok: every request completes; no fair livelock cycle")
+    return 0
+
+
+def cmd_conform(args: argparse.Namespace) -> int:
+    """Check that a recorded trace is a path in the protocol model."""
+    from repro.verify.conformance import check_trace, format_conformance_report
+
+    try:
+        result = check_trace(
+            args.trace,
+            scheme=args.conform_scheme,
+            num_nodes=args.conform_nodes,
+            max_divergences=args.max_divergences,
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_conformance_report(result))
+    _write_stats(args, result.stats_dict())
+    return 0 if result.ok else 1
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -132,7 +253,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Argument parser for the ``check`` and ``lint`` subcommands."""
+    """Argument parser for ``check``, ``conform``, and ``lint``."""
     parser = argparse.ArgumentParser(
         prog="repro.verify",
         description=__doc__,
@@ -145,7 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="scheme name (registry); comma-separate several "
                         "for a summary table")
     p.add_argument("-n", "--nodes", type=int, default=3,
-                   help="number of nodes (keep <= 5)")
+                   help="number of nodes (<= 5 for full BFS; --por reaches 8)")
     p.add_argument("--lines", type=int, default=1, choices=(1, 2),
                    help="modeled memory blocks")
     p.add_argument("--inflight", type=int, default=2,
@@ -158,7 +279,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable symmetry reduction (debugging)")
     p.add_argument("--max-states", type=int, default=250_000)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--por", action="store_true",
+                   help="partial-order reduction (prune provably "
+                        "commuting delivery interleavings)")
+    p.add_argument("--cross-check", action="store_true",
+                   help="run full BFS and POR; fail unless verdicts agree")
+    p.add_argument("--liveness", action="store_true",
+                   help="also search for fair starvation/livelock cycles")
+    p.add_argument("--stats", metavar="FILE",
+                   help="write a JSON stats report ('-' for stdout)")
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "conform", help="check a recorded obs trace against the model"
+    )
+    p.add_argument("trace", help="trace file (chrome or jsonl)")
+    p.add_argument("--scheme", dest="conform_scheme", default=None,
+                   help="override the trace header's scheme")
+    p.add_argument("--nodes", dest="conform_nodes", type=int, default=None,
+                   help="override the trace header's processor count")
+    p.add_argument("--max-divergences", type=int, default=10,
+                   help="stop after this many diverging blocks")
+    p.add_argument("--stats", metavar="FILE",
+                   help="write a JSON stats report ('-' for stdout)")
+    p.set_defaults(func=cmd_conform)
 
     p = sub.add_parser("lint", help="AST lint over simulator sources")
     p.add_argument("paths", nargs="*", help="files/dirs (default: repro pkg)")

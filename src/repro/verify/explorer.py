@@ -1,4 +1,5 @@
-"""Bounded BFS state-space exploration with symmetry reduction.
+"""Bounded BFS state-space exploration with symmetry and partial-order
+reduction.
 
 The explorer enumerates every state reachable from the all-invalid
 initial state under the model's guarded actions (see
@@ -22,11 +23,39 @@ symmetry: home nodes are pinned (block interleaving fixes them), coarse
 vector regions constrain which permutations preserve entry semantics,
 and the superset scheme's binary composite encoding plus the overflow
 cache's shared-LRU store are not equivariant at all.  Each state is
-therefore keyed by the minimum, over the scheme's allowed permutation
-group, of a structural encoding of (caches, messages, directory lines,
-sparse layout, wide-store contents) — symmetric states merge, shrinking
-the explored space without losing violations (the invariants themselves
-are permutation-invariant).
+keyed canonically over the scheme's allowed permutation group —
+symmetric states merge, shrinking the explored space without losing
+violations (the invariants themselves are permutation-invariant).
+
+Two canonicalizers implement the same quotient:
+
+* ``brute`` — minimum structural encoding over every group permutation;
+  exact for any scheme but factorial in the movable-node count;
+* ``signature`` — canonical labeling: movable nodes are sorted by a
+  permutation-equivariant per-node signature (cache row, pending
+  messages, ownership and presence-entry membership per line) and the
+  derived permutation's encoding is the key.  Exact for schemes whose
+  entries are node *sets* (full bit vector, Dir_iB, Dir_iCV_r — the
+  coarse-vector group sorts within regions, then whole home-free
+  regions), because equal-signature nodes are interchangeable in the
+  encoding.  Pointer-*order*-carrying entries (Dir_iNB victim slots,
+  linked-list chains) keep the brute canonicalizer.
+
+Partial-order reduction (``por=True``)
+--------------------------------------
+At a state where some modeled line is **quiet** — exactly one message
+pending on the line, the home entry not dirty (or the message a
+writeback), no victim-evicting pointer overflow possible, and full-map
+homes (sparse stores couple lines through replacement) — delivering that
+message commutes with every other enabled action and cannot disable or
+be disabled by them, so the explorer expands *only* that delivery (a
+singleton ample set).  All skipped interleavings reach the same states
+after the delivery, and the skipped intermediate states cannot introduce
+violations: the only other actions touching the quiet line are issues
+(message appends) and silent drops, neither of which can create an
+invariant breach.  Delivery strictly shrinks the in-flight multiset, so
+no cycle consists of ample steps only and nothing is deferred forever.
+``por_cross_check`` validates the reduction against plain BFS.
 """
 
 from __future__ import annotations
@@ -34,18 +63,25 @@ from __future__ import annotations
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.base import DirectoryEntry
 from repro.core.coarse_vector import CoarseVectorEntry, CoarseVectorScheme
-from repro.core.full_bit_vector import FullBitVectorEntry
-from repro.core.limited_pointer import BroadcastEntry, NoBroadcastEntry
+from repro.core.full_bit_vector import FullBitVectorEntry, FullBitVectorScheme
+from repro.core.limited_pointer import (
+    BroadcastEntry,
+    LimitedPointerBroadcastScheme,
+    NoBroadcastEntry,
+)
 from repro.core.linked_list import LinkedListEntry
 from repro.core.overflow_cache import OverflowCacheEntry, OverflowCacheScheme
-from repro.core.sparse import SparseDirectory
+from repro.core.sparse import DirLine, SparseDirectory
 from repro.core.superset import SupersetEntry, SupersetScheme
 from repro.verify.model import (
+    MSG_READ,
+    MSG_WB,
     Action,
+    Message,
     ModelConfig,
     ModelState,
     ModelViolation,
@@ -90,10 +126,40 @@ class ExploreResult:
     truncated: bool = False  #: hit cfg.max_states before exhausting the space
     violation: Optional[Counterexample] = None
     blocks: Tuple[int, ...] = field(default_factory=tuple)
+    por: bool = False  #: partial-order reduction was enabled
+    pruned: int = 0  #: enabled actions skipped by ample-set reduction
+    ample_states: int = 0  #: states expanded through a singleton ample set
+    canonicalizer: str = "brute"  #: "brute" | "signature" canonical keying
 
     @property
     def ok(self) -> bool:
         return self.violation is None and not self.truncated
+
+    @property
+    def verdict(self) -> str:
+        """``ok`` / ``violation:<invariant>`` / ``truncated``."""
+        if self.violation is not None:
+            return f"violation:{self.violation.invariant}"
+        if self.truncated:
+            return "truncated"
+        return "ok"
+
+    def stats_dict(self) -> Dict[str, object]:
+        """JSON-ready ``--stats`` payload for one exploration."""
+        return {
+            "scheme": self.scheme,
+            "nodes": self.num_nodes,
+            "blocks": list(self.blocks),
+            "states": self.states,
+            "transitions": self.transitions,
+            "max_depth": self.max_depth,
+            "merged": self.merged,
+            "por": self.por,
+            "pruned_actions": self.pruned,
+            "ample_states": self.ample_states,
+            "canonicalizer": self.canonicalizer,
+            "verdict": self.verdict,
+        }
 
 
 def describe_action(action: Action) -> str:
@@ -294,17 +360,219 @@ def canonical_key(
     return best
 
 
+# -- signature-based canonical labeling -------------------------------------
+
+#: schemes whose entries are pure node *sets* under their symmetry group,
+#: making equal-signature nodes interchangeable in the state encoding
+_SET_ENCODED_SCHEMES = (
+    FullBitVectorScheme,
+    LimitedPointerBroadcastScheme,
+    CoarseVectorScheme,
+)
+
+NodeSig = Tuple[object, ...]
+
+
+def _line_views(
+    state: ModelState, cfg: ModelConfig
+) -> List[Tuple[Optional[DirLine], FrozenSet[int]]]:
+    """Per modeled line: the home's directory line and its covered set."""
+    views: List[Tuple[Optional[DirLine], FrozenSet[int]]] = []
+    for l, block in enumerate(cfg.blocks):
+        line = dict(state.stores[cfg.home(l)].lines()).get(block)
+        covered = (
+            frozenset() if line is None
+            else frozenset(line.entry.invalidation_targets())
+        )
+        views.append((line, covered))
+    return views
+
+
+def _node_signatures(state: ModelState, cfg: ModelConfig) -> List[NodeSig]:
+    """Permutation-equivariant per-node fingerprints.
+
+    A signature captures everything the state encoding can see about one
+    node: its cache row, its pending messages, and — per line — whether
+    it owns the line, sits in the covered set, or appears in the raw
+    presence entry.  Relabeling nodes permutes signatures identically,
+    and (for set-encoded schemes) two nodes with equal signatures can be
+    swapped without changing any encoding, so sorting movable nodes by
+    signature yields a canonical representative of the symmetry orbit.
+    """
+    views = _line_views(state, cfg)
+    sigs: List[NodeSig] = []
+    for p in range(cfg.num_nodes):
+        per_line: List[Tuple[object, ...]] = []
+        for line, covered in views:
+            if line is None:
+                per_line.append((0,))
+                continue
+            entry = line.entry
+            mask_bit = (
+                bool(entry.mask >> p & 1)
+                if isinstance(entry, FullBitVectorEntry) else False
+            )
+            pointers = getattr(entry, "pointers", None)
+            ptr_bit = pointers is not None and p in pointers
+            per_line.append(
+                (1, line.owner == p, p in covered, mask_bit, ptr_bit)
+            )
+        msgs = tuple(sorted(
+            (kind, l) for kind, l, q in state.msgs if q == p
+        ))
+        sigs.append((tuple(state.caches[p]), msgs, tuple(per_line)))
+    return sigs
+
+
+def signature_perm(state: ModelState, cfg: ModelConfig) -> Perm:
+    """Derived canonical permutation: sort movable nodes by signature.
+
+    For the coarse-vector group the sort is two-level — movable nodes
+    sort within their region, then whole home-free full-size regions
+    sort by their member-signature tuples — so the derived permutation
+    stays region-preserving.
+    """
+    n = cfg.num_nodes
+    sigs = _node_signatures(state, cfg)
+    homes = {b % n for b in cfg.blocks}
+    perm = list(range(n))
+    scheme = cfg.scheme
+    region_size = (
+        scheme.region_size if isinstance(scheme, CoarseVectorScheme) else n
+    )
+    regions: List[List[int]] = []
+    for start in range(0, n, region_size):
+        regions.append(list(range(start, min(start + region_size, n))))
+    # within each region, movable members sorted by signature fill the
+    # region's movable slots in ascending order
+    for members in regions:
+        movable = [p for p in members if p not in homes]
+        for slot, p in zip(movable,
+                           sorted(movable, key=lambda q: (sigs[q], q))):
+            perm[p] = slot
+    # home-free full-size regions may swap wholesale: order them by their
+    # (already canonically ordered) member signatures
+    free = [
+        members for members in regions
+        if len(members) == region_size and not any(p in homes
+                                                   for p in members)
+    ]
+    if len(free) > 1:
+        def region_sig(members: List[int]) -> Tuple[NodeSig, ...]:
+            return tuple(sorted(sigs[p] for p in members))
+
+        ordered = sorted(free, key=lambda m: (region_sig(m), m[0]))
+        for target, members in zip(free, ordered):
+            # node with within-region rank k lands at the k-th slot of
+            # the target region (perm[p] currently holds its rank slot)
+            base_src = members[0]
+            base_dst = target[0]
+            for p in members:
+                perm[p] = perm[p] - base_src + base_dst
+    return tuple(perm)
+
+
+def pick_canonicalizer(cfg: ModelConfig) -> str:
+    """``"signature"`` when exact for this scheme, else ``"brute"``."""
+    if not cfg.symmetry:
+        return "brute"
+    if isinstance(cfg.scheme, _SET_ENCODED_SCHEMES):
+        return "signature"
+    return "brute"
+
+
+class Canonicalizer:
+    """State-keying strategy: signature labeling or brute-force minimum."""
+
+    def __init__(self, cfg: ModelConfig, mode: Optional[str] = None) -> None:
+        self.cfg = cfg
+        self.mode = pick_canonicalizer(cfg) if mode is None else mode
+        self.perms: List[Perm] = (
+            symmetry_permutations(cfg) if self.mode == "brute" else []
+        )
+
+    def key(self, state: ModelState) -> StateKey:
+        """Canonical hashable key for *state* under the active mode."""
+        if self.mode == "signature":
+            return encode_state(
+                state, self.cfg, signature_perm(state, self.cfg)
+            )
+        return canonical_key(state, self.cfg, self.perms)
+
+
+# -- partial-order reduction ------------------------------------------------
+
+
+def _record_has_room(line: Optional[DirLine], node: int) -> bool:
+    """True when ``record_sharer(node)`` cannot evict a victim pointer.
+
+    Only ``Dir_iNB`` entries invalidate a victim on overflow; every other
+    entry type degrades in place (broadcast bit, coarse regions, composite
+    merge, chain append) without touching any cache.
+    """
+    if line is None:
+        return True
+    entry = line.entry
+    if isinstance(entry, NoBroadcastEntry):
+        return node in entry.pointers or (
+            len(entry.pointers) < entry.scheme.num_pointers
+        )
+    return True
+
+
+def ample_action(state: ModelState, cfg: ModelConfig) -> Optional[Action]:
+    """The quiet-line delivery to expand alone, or ``None`` (full expand).
+
+    A line is *quiet* when exactly one message is pending on it and the
+    delivery cannot race another enabled action: writebacks (sole on
+    their line) always qualify — a genuine accept touches only the home
+    line and a stale one only removes the message; read/write requests
+    qualify when the home line is not dirty (no forward/transfer race
+    with the owner's evict) and, for reads, recording the requester
+    cannot evict a pointer victim.  Sparse stores couple lines through
+    replacement, and the overflow cache couples them through the shared
+    wide store, so both disable the reduction.
+    """
+    if cfg.sparse_ways is not None:
+        return None
+    if isinstance(cfg.scheme, OverflowCacheScheme):
+        return None
+    by_line: Dict[int, List[Message]] = {}
+    for msg in state.msgs:
+        by_line.setdefault(msg[1], []).append(msg)
+    for l in sorted(by_line):
+        pending = by_line[l]
+        if len(pending) != 1:
+            continue
+        kind, _, node = pending[0]
+        if kind == MSG_WB:
+            return ("deliver", kind, l, node)
+        line = dict(state.stores[cfg.home(l)].lines()).get(cfg.blocks[l])
+        if line is not None and line.dirty:
+            continue
+        if kind == MSG_READ and not _record_has_room(line, node):
+            continue
+        return ("deliver", kind, l, node)
+    return None
+
+
 # -- the search -------------------------------------------------------------
 
 
-def explore(cfg: ModelConfig) -> ExploreResult:
-    """Breadth-first exploration of every reachable state within bounds."""
-    perms = symmetry_permutations(cfg)
+def explore(cfg: ModelConfig, *, por: bool = False) -> ExploreResult:
+    """Breadth-first exploration of every reachable state within bounds.
+
+    With ``por=True`` the quiet-line ample rule (module docstring) expands
+    a single delivery instead of the full enabled set wherever it applies,
+    pruning interleavings without losing any reachable violation.
+    """
+    canon = Canonicalizer(cfg)
     result = ExploreResult(
-        scheme=cfg.scheme.name, num_nodes=cfg.num_nodes, blocks=cfg.blocks
+        scheme=cfg.scheme.name, num_nodes=cfg.num_nodes, blocks=cfg.blocks,
+        por=por, canonicalizer=canon.mode,
     )
     root = initial_state(cfg)
-    root_key = canonical_key(root, cfg, perms)
+    root_key = canon.key(root)
     initial = state_violations(root, cfg)
     if initial:  # pragma: no cover - an empty machine is always coherent
         result.violation = Counterexample(
@@ -334,6 +602,12 @@ def explore(cfg: ModelConfig) -> ExploreResult:
         if drain is not None:
             result.violation = _trace(parents, key, None, drain)
             return result
+        if por:
+            ample = ample_action(state, cfg)
+            if ample is not None:
+                result.pruned += len(actions) - 1
+                result.ample_states += 1
+                actions = [ample]
         for action in actions:
             successor, violations = apply_action(state, action, cfg)
             result.transitions += 1
@@ -342,7 +616,7 @@ def explore(cfg: ModelConfig) -> ExploreResult:
             if violations:
                 result.violation = _trace(parents, key, action, violations[0])
                 return result
-            successor_key = canonical_key(successor, cfg, perms)
+            successor_key = canon.key(successor)
             if successor_key in parents:
                 result.merged += 1
                 continue
@@ -375,3 +649,21 @@ def _trace(
     return Counterexample(
         tuple(actions), violation.invariant, violation.message
     )
+
+
+def por_cross_check(
+    cfg: ModelConfig,
+) -> Tuple[ExploreResult, ExploreResult, bool]:
+    """Soundness check: explore with and without POR, compare verdicts.
+
+    Returns ``(full, reduced, agree)`` where ``agree`` means both runs
+    reached the same verdict (ok / truncated / violated invariant) —
+    the reduction may legally find a *different* minimal counterexample
+    for the same invariant, and always explores a subset of the states.
+    """
+    full = explore(cfg)
+    reduced = explore(cfg, por=True)
+    agree = full.verdict == reduced.verdict and (
+        reduced.states <= full.states
+    )
+    return full, reduced, agree

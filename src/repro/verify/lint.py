@@ -9,9 +9,16 @@ Rules (see ``docs/verification.md`` for the full rationale):
     a silently unhandled message class is how protocols rot.
 ``unseeded-random``
     ``machine/`` and ``core/`` must not call the module-level ``random``
-    functions, wall-clock ``time`` sources, ``uuid``, ``secrets``, or
-    ``os.urandom``: simulations must be deterministic per seed.
-    Constructing a seeded ``random.Random(...)`` is allowed.
+    functions, ``uuid``, or ``secrets``: simulations must be
+    deterministic per seed.  Constructing a seeded
+    ``random.Random(...)`` is allowed.
+``wall-clock``
+    ``machine/`` and ``core/`` must not read the wall clock
+    (``time.time()``, ``time.perf_counter()``, ``datetime.now()``, ...)
+    or OS entropy (``os.urandom``) — the same determinism hazard as
+    unseeded randomness, but routinely smuggled in as "just timing".
+    Simulated time lives on the event queue; host time belongs in
+    ``obs``/``analysis`` (profiling, timeouts), which are out of scope.
 ``unordered-iteration``
     ``machine/`` and ``core/`` must not iterate directly over set
     displays, ``set()``/``frozenset()`` calls, or the (frozen-set
@@ -36,9 +43,24 @@ Rules (see ``docs/verification.md`` for the full rationale):
     taxonomy that exporters, reports, and ``repro obs diff`` agree on.
     (Dynamically built names are validated at runtime by the strict
     tracer instead.)
+``dead-metric``
+    The inverse direction: every metric declared in ``obs/registry.py``'s
+    ``METRICS`` must be incremented somewhere — a declared-but-dead name
+    keeps showing up in the glossary and diff baselines while silently
+    recording nothing.  A metric counts as live when some
+    ``.counter(...)``/``.gauge(...)``/``.histogram(...)`` call names it
+    literally or via an f-string whose literal prefix covers it
+    (``f"txn_latency.{kind}"`` keeps every ``txn_latency.*`` metric
+    alive).  Only checked on tree-wide runs — the lint set must include
+    both ``obs/registry.py`` and the ``machine/`` layer, else a partial
+    run could not see the increment sites and everything would look
+    dead.
 
-Suppress a finding inline with ``# lint: ignore[rule-name]`` (or a bare
-``# lint: ignore`` for all rules) on the offending line.
+Suppressions are **line-targeted**: ``# lint: ignore[rule-name]`` (or a
+bare ``# lint: ignore`` for all rules) silences findings anchored to the
+annotated line only.  For an intentional whole-file opt-out use the
+``-file`` suffix form — ``# lint: ignore-file[rule-name]`` (or bare
+``# lint: ignore-file``) anywhere in the file.
 """
 
 from __future__ import annotations
@@ -52,8 +74,10 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tup
 #: rule name -> one-line description (the catalog, also used by the CLI)
 LINT_RULES: Dict[str, str] = {
     "enum-dispatch": "enum-keyed dispatch must cover every member",
-    "unseeded-random": "no unseeded randomness or wall-clock time in "
+    "unseeded-random": "no unseeded randomness (random/uuid/secrets) in "
     "machine/ and core/",
+    "wall-clock": "no wall-clock time or OS entropy (time.*, "
+    "datetime.now, os.urandom) in machine/ and core/",
     "unordered-iteration": "no direct iteration over sets or "
     "invalidation_targets(); sort first",
     "unregistered-scheme": "every concrete DirectoryScheme must appear in "
@@ -61,6 +85,8 @@ LINT_RULES: Dict[str, str] = {
     "undeclared-stat": "stats counters must be declared before incremented",
     "undeclared-obs-name": "trace event / metric names must be declared in "
     "obs/registry.py",
+    "dead-metric": "metrics declared in obs/registry.py must be "
+    "incremented somewhere (tree-wide runs only)",
 }
 
 #: enums whose dispatch must be exhaustive, with their member names
@@ -87,6 +113,8 @@ _BANNED_TIME = frozenset(
 )
 _ALLOWED_RANDOM = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
 _BANNED_UUID = frozenset({"uuid1", "uuid4"})
+#: ``datetime.datetime`` / ``datetime.date`` classmethods that read the clock
+_BANNED_DATETIME = frozenset({"now", "utcnow", "today"})
 
 
 @dataclass(frozen=True)
@@ -104,12 +132,57 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
 
 
+@dataclass(frozen=True)
+class _IgnoreIndex:
+    """Parsed suppression comments of one module."""
+
+    file_all: bool  #: ``# lint: ignore-file`` anywhere
+    file_rules: FrozenSet[str]  #: ``# lint: ignore-file[...]`` rule names
+    line_all: FrozenSet[int]  #: lines carrying a bare ``# lint: ignore``
+    line_rules: Dict[int, FrozenSet[str]]  #: line -> ignored rule names
+
+
+_IGNORE_MARKER = "# lint: ignore"
+
+
+def _parse_ignores(source_lines: List[str]) -> _IgnoreIndex:
+    file_all = False
+    file_rules: Set[str] = set()
+    line_all: Set[int] = set()
+    line_rules: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(source_lines, start=1):
+        marker = text.rfind(_IGNORE_MARKER)
+        if marker == -1:
+            continue
+        spec = text[marker + len(_IGNORE_MARKER):]
+        file_wide = spec.startswith("-file")
+        if file_wide:
+            spec = spec[len("-file"):]
+        spec = spec.strip()
+        if not spec.startswith("["):
+            # bare ignore: all rules
+            if file_wide:
+                file_all = True
+            else:
+                line_all.add(lineno)
+            continue
+        names = spec[1:spec.find("]")] if "]" in spec else spec[1:]
+        rules = frozenset(n.strip() for n in names.split(","))
+        if file_wide:
+            file_rules |= rules
+        else:
+            line_rules[lineno] = line_rules.get(lineno, frozenset()) | rules
+    return _IgnoreIndex(file_all, frozenset(file_rules), frozenset(line_all),
+                        line_rules)
+
+
 @dataclass
 class _Module:
     path: Path
     rel: str
     tree: ast.Module
     source_lines: List[str]
+    ignores: _IgnoreIndex
 
     def determinism_scoped(self) -> bool:
         """Rules about nondeterminism apply to machine/ and core/ only."""
@@ -118,17 +191,13 @@ class _Module:
 
 
 def _suppressed(module: _Module, lineno: int, rule: str) -> bool:
-    if 1 <= lineno <= len(module.source_lines):
-        text = module.source_lines[lineno - 1]
-        marker = text.rfind("# lint: ignore")
-        if marker == -1:
-            return False
-        spec = text[marker + len("# lint: ignore"):].strip()
-        if not spec.startswith("["):
-            return True  # bare ignore: all rules
-        names = spec[1:spec.find("]")] if "]" in spec else spec[1:]
-        return rule in {n.strip() for n in names.split(",")}
-    return False
+    """True when the finding is silenced by a line or file annotation."""
+    ig = module.ignores
+    if ig.file_all or rule in ig.file_rules:
+        return True
+    if lineno in ig.line_all:
+        return True
+    return rule in ig.line_rules.get(lineno, frozenset())
 
 
 # -- rule: enum-dispatch ----------------------------------------------------
@@ -227,67 +296,107 @@ def _check_enum_chain(module: _Module, node: ast.If) -> Iterator[Finding]:
         )
 
 
-# -- rule: unseeded-random --------------------------------------------------
+# -- rules: unseeded-random / wall-clock ------------------------------------
 
 
-def _check_unseeded_random(module: _Module) -> Iterator[Finding]:
+def _check_nondeterminism(module: _Module) -> Iterator[Finding]:
+    """Both determinism rules share one import-alias scan.
+
+    ``unseeded-random`` covers randomness sources (``random``, ``uuid``,
+    ``secrets``); ``wall-clock`` covers host-time and OS-entropy reads
+    (``time``, ``datetime``, ``os.urandom``).
+    """
     if not module.determinism_scoped():
         return
     module_aliases: Dict[str, str] = {}
-    banned_names: Dict[str, str] = {}
+    #: bare name -> (rule, dotted origin), from ``from X import Y``
+    banned_names: Dict[str, Tuple[str, str]] = {}
+    #: alias -> clock-bearing class, from ``from datetime import datetime``
+    datetime_classes: Dict[str, str] = {}
     for node in ast.walk(module.tree):
         if isinstance(node, ast.Import):
             for alias in node.names:
-                if alias.name in ("random", "time", "uuid", "secrets", "os"):
+                if alias.name in (
+                    "random", "time", "uuid", "secrets", "os", "datetime"
+                ):
                     module_aliases[alias.asname or alias.name] = alias.name
         elif isinstance(node, ast.ImportFrom) and node.level == 0:
             if node.module == "random":
                 for alias in node.names:
                     if alias.name not in _ALLOWED_RANDOM:
                         banned_names[alias.asname or alias.name] = (
-                            f"random.{alias.name}"
+                            "unseeded-random", f"random.{alias.name}"
                         )
             elif node.module == "time":
                 for alias in node.names:
                     if alias.name in _BANNED_TIME:
                         banned_names[alias.asname or alias.name] = (
-                            f"time.{alias.name}"
+                            "wall-clock", f"time.{alias.name}"
                         )
             elif node.module in ("uuid", "secrets"):
                 for alias in node.names:
                     banned_names[alias.asname or alias.name] = (
-                        f"{node.module}.{alias.name}"
+                        "unseeded-random", f"{node.module}.{alias.name}"
                     )
+            elif node.module == "os":
+                for alias in node.names:
+                    if alias.name == "urandom":
+                        banned_names[alias.asname or alias.name] = (
+                            "wall-clock", "os.urandom"
+                        )
+            elif node.module == "datetime":
+                for alias in node.names:
+                    if alias.name in ("datetime", "date"):
+                        datetime_classes[alias.asname or alias.name] = (
+                            alias.name
+                        )
     for node in ast.walk(module.tree):
         if not isinstance(node, ast.Call):
             continue
         func = node.func
-        origin: Optional[str] = None
+        rule: Optional[str] = None
+        origin = ""
         if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
             mod = module_aliases.get(func.value.id)
+            cls = datetime_classes.get(func.value.id)
             if mod == "random" and func.attr not in _ALLOWED_RANDOM:
-                origin = f"random.{func.attr}"
+                rule, origin = "unseeded-random", f"random.{func.attr}"
             elif mod == "time" and func.attr in _BANNED_TIME:
-                origin = f"time.{func.attr}"
+                rule, origin = "wall-clock", f"time.{func.attr}"
             elif mod == "uuid" and func.attr in _BANNED_UUID:
-                origin = f"uuid.{func.attr}"
+                rule, origin = "unseeded-random", f"uuid.{func.attr}"
             elif mod == "secrets":
-                origin = f"secrets.{func.attr}"
+                rule, origin = "unseeded-random", f"secrets.{func.attr}"
             elif mod == "os" and func.attr == "urandom":
-                origin = "os.urandom"
-        elif isinstance(func, ast.Name) and func.id in banned_names:
-            origin = banned_names[func.id]
-        if origin is not None and not _suppressed(
-            module, node.lineno, "unseeded-random"
+                rule, origin = "wall-clock", "os.urandom"
+            elif cls is not None and func.attr in _BANNED_DATETIME:
+                rule, origin = "wall-clock", f"datetime.{cls}.{func.attr}"
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and isinstance(func.value.value, ast.Name)
+            and module_aliases.get(func.value.value.id) == "datetime"
+            and func.value.attr in ("datetime", "date")
+            and func.attr in _BANNED_DATETIME
         ):
-            yield Finding(
-                str(module.path),
-                node.lineno,
-                node.col_offset,
-                "unseeded-random",
-                f"call to {origin} is nondeterministic; draw from a seeded "
-                f"random.Random instance instead",
-            )
+            rule = "wall-clock"
+            origin = f"datetime.{func.value.attr}.{func.attr}"
+        elif isinstance(func, ast.Name) and func.id in banned_names:
+            rule, origin = banned_names[func.id]
+        if rule is None or _suppressed(module, node.lineno, rule):
+            continue
+        hint = (
+            "draw from a seeded random.Random instance instead"
+            if rule == "unseeded-random"
+            else "simulated time lives on the event queue"
+        )
+        yield Finding(
+            str(module.path),
+            node.lineno,
+            node.col_offset,
+            rule,
+            f"call to {origin} is nondeterministic; {hint}",
+        )
 
 
 # -- rule: unordered-iteration ----------------------------------------------
@@ -570,6 +679,91 @@ def _check_undeclared_obs_name(
                 )
 
 
+# -- rule: dead-metric -------------------------------------------------------
+
+
+def _metric_name_uses(
+    modules: List[_Module],
+) -> Tuple[Set[str], Set[str]]:
+    """(exact literal names, f-string literal prefixes) passed to the
+    metrics factory methods anywhere in the linted tree."""
+    exact: Set[str] = set()
+    prefixes: Set[str] = set()
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if (
+                not isinstance(node, ast.Call)
+                or not isinstance(node.func, ast.Attribute)
+                or node.func.attr not in _METRIC_METHODS
+                or not _is_metrics_receiver(node.func)
+                or not node.args
+            ):
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                exact.add(arg.value)
+            elif isinstance(arg, ast.JoinedStr) and arg.values:
+                head = arg.values[0]
+                if isinstance(head, ast.Constant) and isinstance(
+                    head.value, str
+                ):
+                    prefixes.add(head.value)
+                else:
+                    prefixes.add("")  # fully dynamic: covers everything
+    return exact, prefixes
+
+
+def _dead_metric_findings(modules: List[_Module]) -> Iterator[Finding]:
+    """Declared-but-never-incremented metrics, on tree-wide runs only.
+
+    Requires both ``obs/registry.py`` (the declarations) and at least one
+    ``machine/`` module (the instrumented layer) in the lint set — a
+    partial run cannot see every increment site, so everything would
+    read as dead.
+    """
+    registry = next(
+        (m for m in modules if Path(m.rel).name == "registry.py"
+         and "obs" in Path(m.rel).parts),
+        None,
+    )
+    if registry is None or not any(
+        "machine" in Path(m.rel).parts for m in modules
+    ):
+        return
+    exact, prefixes = _metric_name_uses(modules)
+    for node in ast.walk(registry.tree):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "METRICS" for t in targets
+        ) or not isinstance(value, ast.Dict):
+            continue
+        for key in value.keys:
+            if not (
+                isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ):
+                continue
+            name = key.value
+            if name in exact or any(name.startswith(p) for p in prefixes):
+                continue
+            if _suppressed(registry, key.lineno, "dead-metric"):
+                continue
+            yield Finding(
+                str(registry.path),
+                key.lineno,
+                key.col_offset,
+                "dead-metric",
+                f"metric {name!r} is declared in METRICS but never "
+                f"passed to .counter()/.gauge()/.histogram() anywhere",
+            )
+
+
 # -- driver -----------------------------------------------------------------
 
 
@@ -613,7 +807,8 @@ def _load(files: List[Tuple[Path, Path]]) -> Tuple[List[_Module], List[Finding]]
             rel = os.path.join(root.name, str(file.relative_to(root)))
         except ValueError:  # pragma: no cover - absolute/relative mix
             rel = str(file)
-        modules.append(_Module(file, rel, tree, source.splitlines()))
+        lines = source.splitlines()
+        modules.append(_Module(file, rel, tree, lines, _parse_ignores(lines)))
     return modules, errors
 
 
@@ -626,7 +821,7 @@ def run_lint(paths: Iterable[str]) -> List[Finding]:
         for finding in _check_enum_dispatch(module):
             if not _suppressed(module, finding.line, finding.rule):
                 findings.append(finding)
-        findings.extend(_check_unseeded_random(module))
+        findings.extend(_check_nondeterminism(module))
         findings.extend(_check_unordered_iteration(module))
         if declared is not None:
             findings.extend(_check_undeclared_stat(module, declared))
@@ -635,5 +830,6 @@ def run_lint(paths: Iterable[str]) -> List[Finding]:
                 _check_undeclared_obs_name(module, obs_names[0], obs_names[1])
             )
     findings.extend(_scheme_findings(modules))
+    findings.extend(_dead_metric_findings(modules))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

@@ -31,6 +31,46 @@ def test_check_truncation_exits_two(capsys):
                  "--max-states", "5"]) == 2
 
 
+def test_check_por_reports_pruning(capsys):
+    assert main(["check", "--scheme", "full", "-n", "3", "--por"]) == 0
+    out = capsys.readouterr().out
+    assert "POR" in out and "pruned actions:" in out
+
+
+def test_check_stats_file_is_json(tmp_path, capsys):
+    stats = tmp_path / "stats.json"
+    assert main(["check", "--scheme", "full", "-n", "3", "--por",
+                 "--stats", str(stats)]) == 0
+    import json
+
+    payload = json.loads(stats.read_text())
+    assert payload["por"] is True and payload["verdict"] == "ok"
+
+
+def test_check_multi_scheme_stats_is_a_list(tmp_path):
+    stats = tmp_path / "stats.json"
+    assert main(["check", "--scheme", "full,Dir1B", "-n", "3",
+                 "--stats", str(stats)]) == 0
+    import json
+
+    payload = json.loads(stats.read_text())
+    assert isinstance(payload, list) and len(payload) == 2
+
+
+def test_check_cross_check_agrees(capsys):
+    assert main(["check", "--scheme", "full", "-n", "3",
+                 "--cross-check"]) == 0
+    out = capsys.readouterr().out
+    assert "agree" in out and "cross-check ok" in out
+
+
+def test_check_liveness_reports_ok(capsys):
+    assert main(["check", "--scheme", "full", "-n", "3",
+                 "--liveness"]) == 0
+    out = capsys.readouterr().out
+    assert "liveness ok" in out and "fair" in out
+
+
 def test_lint_shipped_tree_exits_zero(capsys):
     assert main(["lint", str(REPO_SRC)]) == 0
     assert "lint clean" in capsys.readouterr().out

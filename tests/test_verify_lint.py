@@ -114,7 +114,7 @@ def test_wall_clock_and_from_imports_are_flagged(tmp_path):
             "    return choice(xs)\n"
         ),
     })
-    assert _rules(findings) == ["unseeded-random", "unseeded-random"]
+    assert _rules(findings) == ["wall-clock", "unseeded-random"]
 
 
 def test_randomness_outside_machine_and_core_is_allowed(tmp_path):
@@ -123,6 +123,62 @@ def test_randomness_outside_machine_and_core_is_allowed(tmp_path):
             "import random\n"
             "def pick():\n"
             "    return random.random()\n"
+        ),
+    })
+    assert findings == []
+
+
+# -- wall-clock -------------------------------------------------------------
+
+
+def test_time_time_and_os_urandom_are_wall_clock(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/clock.py": (
+            "import os\n"
+            "import time\n"
+            "def stamp():\n"
+            "    return time.time()\n"
+            "def entropy():\n"
+            "    return os.urandom(8)\n"
+        ),
+    })
+    assert _rules(findings) == ["wall-clock", "wall-clock"]
+    assert "time.time" in findings[0].message
+    assert "os.urandom" in findings[1].message
+
+
+def test_datetime_now_is_flagged_in_both_import_styles(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "core/stamp.py": (
+            "import datetime\n"
+            "from datetime import datetime as dt\n"
+            "def a():\n"
+            "    return datetime.datetime.now()\n"
+            "def b():\n"
+            "    return dt.utcnow()\n"
+        ),
+    })
+    assert _rules(findings) == ["wall-clock", "wall-clock"]
+
+
+def test_wall_clock_outside_machine_and_core_is_allowed(tmp_path):
+    # obs profiling and analysis timeouts legitimately read host time
+    findings = _lint_tree(tmp_path, {
+        "obs/profiler.py": (
+            "import time\n"
+            "def tick():\n"
+            "    return time.perf_counter()\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_datetime_arithmetic_is_not_flagged(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/span.py": (
+            "from datetime import timedelta\n"
+            "def week():\n"
+            "    return timedelta(days=7)\n"
         ),
     })
     assert findings == []
@@ -234,7 +290,9 @@ def test_undeclared_counter_is_flagged(tmp_path):
 
 _OBS_REGISTRY = (
     "EVENTS = {'txn.read': 'read span', 'wb.issue': 'writeback'}\n"
-    "METRICS = {'msg_latency': 'latency histogram'}\n"
+    # not every fixture tree increments msg_latency; keep dead-metric out
+    # of the obs-name tests' way
+    "METRICS = {'msg_latency': 'x'}  # lint: ignore[dead-metric]\n"
 )
 
 
@@ -268,7 +326,7 @@ def test_annotated_registry_declarations_count(tmp_path):
         "obs/registry.py": (
             "from typing import Dict\n"
             "EVENTS: Dict[str, str] = {'txn.read': 'read span'}\n"
-            "METRICS: Dict[str, str] = {'msg_latency': 'latency'}\n"
+            "METRICS: Dict[str, str] = {}\n"
         ),
         "machine/hooks.py": (
             "def f(tracer):\n"
@@ -336,6 +394,56 @@ def test_obs_name_suppression(tmp_path):
     assert findings == []
 
 
+# -- dead-metric ------------------------------------------------------------
+
+
+def test_dead_metric_is_flagged_on_tree_wide_runs(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "obs/registry.py": (
+            "METRICS = {'msg_latency': 'used', 'dead_gauge': 'never set'}\n"
+        ),
+        "machine/hooks.py": (
+            "def f(self, v):\n"
+            "    self.metrics.histogram('msg_latency').observe(v)\n"
+        ),
+    })
+    assert _rules(findings) == ["dead-metric"]
+    assert "dead_gauge" in findings[0].message
+
+
+def test_fstring_prefix_keeps_metric_family_alive(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "obs/registry.py": (
+            "METRICS = {'txn_latency.read': 'r', 'txn_latency.write': 'w'}\n"
+        ),
+        "machine/hooks.py": (
+            "def f(self, kind, v):\n"
+            "    self.metrics.histogram(f'txn_latency.{kind}').observe(v)\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_dead_metric_skipped_without_machine_layer(tmp_path):
+    # a partial run cannot see the increment sites; stay quiet
+    findings = _lint_tree(tmp_path, {
+        "obs/registry.py": "METRICS = {'orphan': 'x'}\n",
+    })
+    assert findings == []
+
+
+def test_dead_metric_suppression_on_declaration_line(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "obs/registry.py": (
+            "METRICS = {\n"
+            "    'reserved': 'future',  # lint: ignore[dead-metric]\n"
+            "}\n"
+        ),
+        "machine/hooks.py": "def f():\n    pass\n",
+    })
+    assert findings == []
+
+
 # -- suppression and the shipped tree ---------------------------------------
 
 
@@ -372,6 +480,60 @@ def test_suppressing_one_rule_keeps_the_other(tmp_path):
     assert _rules(findings) == ["unordered-iteration"]
 
 
+def test_ignore_is_line_targeted_not_file_wide(tmp_path):
+    # the annotation on line 2's violation must not silence line 4's
+    findings = _lint_tree(tmp_path, {
+        "machine/loop.py": (
+            "def f():\n"
+            "    for x in {1, 2}:  # lint: ignore[unordered-iteration]\n"
+            "        print(x)\n"
+            "    for y in {3, 4}:\n"
+            "        print(y)\n"
+        ),
+    })
+    assert [(f.rule, f.line) for f in findings] == [("unordered-iteration", 4)]
+
+
+def test_ignore_file_suffix_suppresses_rule_file_wide(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/loop.py": (
+            "# lint: ignore-file[unordered-iteration]\n"
+            "def f():\n"
+            "    for x in {1, 2}:\n"
+            "        print(x)\n"
+            "    for y in {3, 4}:\n"
+            "        print(y)\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_bare_ignore_file_suppresses_everything(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/loop.py": (
+            "# lint: ignore-file\n"
+            "import random\n"
+            "def f():\n"
+            "    for x in {1, 2}:\n"
+            "        print(random.random())\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_ignore_file_only_covers_the_named_rule(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/loop.py": (
+            "# lint: ignore-file[unordered-iteration]\n"
+            "import random\n"
+            "def f():\n"
+            "    for x in {1, 2}:\n"
+            "        print(random.random())\n"
+        ),
+    })
+    assert _rules(findings) == ["unseeded-random"]
+
+
 def test_syntax_error_becomes_parse_error_finding(tmp_path):
     findings = _lint_tree(tmp_path, {"machine/bad.py": "def broken(:\n"})
     assert _rules(findings) == ["parse-error"]
@@ -381,10 +543,12 @@ def test_every_rule_has_a_catalog_entry():
     assert set(LINT_RULES) == {
         "enum-dispatch",
         "unseeded-random",
+        "wall-clock",
         "unordered-iteration",
         "unregistered-scheme",
         "undeclared-stat",
         "undeclared-obs-name",
+        "dead-metric",
     }
 
 

@@ -1,0 +1,100 @@
+"""Liveness: healthy schemes have no fair starvation/livelock cycles,
+and planted progress bugs yield lasso counterexamples.
+
+The mutants here live at the model-semantics level (a home that loses a
+request, a home that NAKs forever) rather than the scheme level — losing
+a message is a *controller* bug, invisible to any directory entry, which
+is exactly why safety checking alone cannot find it.
+"""
+
+import pytest
+
+from repro.core.registry import make_scheme
+from repro.verify import model
+from repro.verify.liveness import Lasso, check_liveness
+from repro.verify.model import MSG_READ, MSG_WRITE, ModelConfig
+
+
+def _cfg(name="full", nodes=3, **kw):
+    return ModelConfig(
+        scheme=make_scheme(name, nodes), num_nodes=nodes, **kw
+    )
+
+
+@pytest.mark.parametrize("name", ["full", "Dir1B", "Dir2CV2"])
+def test_healthy_scheme_has_no_liveness_violation(name):
+    result = check_liveness(_cfg(name))
+    assert result.ok, result.violation and result.violation.format()
+    assert result.states > 0 and result.transitions > 0
+    assert result.violation is None
+
+
+def test_lost_read_is_a_request_completion_violation(monkeypatch):
+    """A home that consumes a read without granting it starves the reader."""
+    real = model._deliver
+
+    def lossy(ns, cfg, kind, l, node):
+        if kind == MSG_READ:
+            return []  # message consumed, cache never granted
+        return real(ns, cfg, kind, l, node)
+
+    monkeypatch.setattr(model, "_deliver", lossy)
+    result = check_liveness(_cfg())
+    assert result.violation is not None, "lost transaction not detected"
+    assert result.violation.property == "request-completion"
+    assert "never completes" in result.violation.message
+
+
+def test_nak_requeue_forever_is_a_liveness_violation(monkeypatch):
+    """A home that re-queues node 0's writes forever livelocks them."""
+    real = model._deliver
+
+    def nak(ns, cfg, kind, l, node):
+        if kind == MSG_WRITE and node == 0:
+            ns.msgs.append((MSG_WRITE, l, node))  # NAK: back on the wire
+            return []
+        return real(ns, cfg, kind, l, node)
+
+    monkeypatch.setattr(model, "_deliver", nak)
+    result = check_liveness(_cfg())
+    assert result.violation is not None, "NAK livelock not detected"
+    assert result.violation.property in (
+        "request-completion", "livelock-freedom"
+    )
+
+
+def test_lasso_format_shows_stem_and_cycle(monkeypatch):
+    real = model._deliver
+    monkeypatch.setattr(
+        model, "_deliver",
+        lambda ns, cfg, kind, l, node: (
+            [] if kind == MSG_READ else real(ns, cfg, kind, l, node)
+        ),
+    )
+    lasso = check_liveness(_cfg()).violation
+    text = lasso.format()
+    assert "cycle (repeats forever)" in text
+    assert "violated: request-completion" in text
+
+
+def test_lasso_replay_actions_unroll_the_cycle_twice():
+    lasso = Lasso(
+        stem=(("read", 0, 0),),
+        cycle=(("deliver", "read", 0, 0), ("read", 0, 0)),
+        property="request-completion",
+        message="m",
+    )
+    assert lasso.replay_actions() == lasso.stem + lasso.cycle + lasso.cycle
+
+
+def test_truncated_graph_is_not_reported_ok():
+    result = check_liveness(_cfg(max_states=10))
+    assert result.truncated
+    assert not result.ok
+
+
+def test_liveness_counts_sccs():
+    result = check_liveness(_cfg(nodes=2))
+    # a protocol with any request/response loop has cyclic SCCs to examine
+    assert result.sccs > 0
+    assert result.fair_sccs <= result.sccs
