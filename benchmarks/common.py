@@ -33,6 +33,7 @@ from repro.analysis.supervisor import SupervisorPolicy
 from repro.analysis.sweeps import PointSpec, run_points
 from repro.machine.config import MachineConfig
 from repro.machine.stats import SimStats
+from repro.obs.aggregate import SweepAggregator
 from repro.trace.workload import Workload
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
@@ -56,6 +57,7 @@ class RunnerOptions:
     no_cache: bool = False
     timeout: Optional[float] = None
     retries: Optional[int] = None
+    obs_out: Optional[Path] = None
 
     def make_cache(self) -> Optional[ResultCache]:
         """A ResultCache honoring the flags, or None when caching is off."""
@@ -82,6 +84,7 @@ class RunnerOptions:
 
 _options = RunnerOptions()
 _cache: Optional[ResultCache] = None
+_aggregator: Optional[SweepAggregator] = None
 
 
 def runner_options() -> RunnerOptions:
@@ -96,17 +99,20 @@ def configure_runner(
     no_cache: bool = False,
     timeout: Optional[float] = None,
     retries: Optional[int] = None,
+    obs_out: Optional[Path | str] = None,
 ) -> RunnerOptions:
     """Set the process-wide runner options (used by bench_entry and tests)."""
-    global _options, _cache
+    global _options, _cache, _aggregator
     _options = RunnerOptions(
         jobs=jobs,
         cache_dir=Path(cache_dir) if cache_dir else None,
         no_cache=no_cache,
         timeout=timeout,
         retries=retries,
+        obs_out=Path(obs_out) if obs_out else None,
     )
     _cache = _options.make_cache()
+    _aggregator = SweepAggregator() if _options.obs_out else None
     return _options
 
 
@@ -116,6 +122,17 @@ def active_cache() -> Optional[ResultCache]:
     if _cache is None and not _options.no_cache:
         _cache = _options.make_cache()
     return _cache
+
+
+def active_aggregator() -> Optional[SweepAggregator]:
+    """The shared sweep aggregator (telemetry accumulates across grids).
+
+    Non-None exactly when ``--obs-out`` was given: every
+    :func:`run_grid` in the process then traces its points and merges
+    the telemetry here, and :func:`bench_entry` writes the combined
+    artifacts once the report is done.
+    """
+    return _aggregator
 
 
 def add_runner_args(parser: argparse.ArgumentParser) -> None:
@@ -143,6 +160,11 @@ def add_runner_args(parser: argparse.ArgumentParser) -> None:
         help="failed attempts a point may accrue before the run fails "
              "(default 2 when supervising)",
     )
+    parser.add_argument(
+        "--obs-out", default=None, metavar="DIR",
+        help="trace every simulated point and write the merged Perfetto "
+             "trace, summary, and metrics JSON under DIR",
+    )
 
 
 def apply_runner_args(args: argparse.Namespace) -> RunnerOptions:
@@ -151,6 +173,7 @@ def apply_runner_args(args: argparse.Namespace) -> RunnerOptions:
         jobs=args.jobs, cache_dir=args.cache_dir, no_cache=args.no_cache,
         timeout=getattr(args, "timeout", None),
         retries=getattr(args, "retries", None),
+        obs_out=getattr(args, "obs_out", None),
     )
 
 
@@ -173,6 +196,11 @@ def bench_entry(
     cache = active_cache()
     if cache is not None:
         print(f"\n[{cache.summary()}]")
+    aggregator = active_aggregator()
+    if aggregator is not None and _options.obs_out is not None:
+        paths = aggregator.write(_options.obs_out)
+        print(f"\n[obs] merged {len(aggregator.points)} points from "
+              f"{aggregator.workers} workers -> {paths['trace']}")
     return 0
 
 
@@ -200,7 +228,7 @@ def run_grid(
     ]
     stats = run_points(
         specs, jobs=_options.jobs, cache=active_cache(),
-        policy=_options.make_policy(),
+        policy=_options.make_policy(), aggregate=active_aggregator(),
     )
     return dict(zip(labels, stats))
 

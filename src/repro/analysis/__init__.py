@@ -7,6 +7,7 @@ from repro.analysis.invalidation import (
     figure2_series,
 )
 from repro.analysis.report import (
+    format_critical_path,
     format_fault_report,
     format_histogram,
     format_metrics_report,
@@ -49,6 +50,7 @@ __all__ = [
     "format_table",
     "format_series",
     "format_histogram",
+    "format_critical_path",
     "format_fault_report",
     "format_metrics_report",
     "format_profile",

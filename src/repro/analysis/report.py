@@ -11,6 +11,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.machine.stats import SimStats
+    from repro.obs.causal import ChainSet
     from repro.verify.conformance import ConformanceResult
     from repro.verify.explorer import ExploreResult
     from repro.verify.liveness import LivenessResult
@@ -208,6 +209,97 @@ def format_profile(rows: Iterable[Sequence[object]]) -> str:
         ["phase", "wall s", "sim events", "events/s", "trace events"],
         rows,
     )
+
+
+def format_critical_path(
+    chain_set: "ChainSet", *, top: int = 5, histograms: bool = True
+) -> str:
+    """Render ``repro obs critical-path``'s report from a ChainSet.
+
+    Sections: the aggregate per-phase latency breakdown (where did the
+    cycles go, sweep-wide), the top-``top`` slowest transactions with
+    their reconstructed chains, and optionally a log2 histogram per
+    phase (the per-scheme phase distribution view).
+    """
+    chains = chain_set.chains
+    if not chains:
+        return (
+            "(no causal chains: trace has no txn_id-tagged transactions"
+            + (
+                f"; {chain_set.untagged} untagged txn spans — "
+                "was it recorded before causal tracking?"
+                if chain_set.untagged
+                else ")"
+            )
+        )
+    sections: List[str] = []
+    total_latency = sum(c.latency for c in chains)
+    headline = (
+        f"{len(chains)} transactions, "
+        f"{total_latency:,.0f} cycles total latency"
+    )
+    extras = []
+    if chain_set.incomplete:
+        extras.append(f"{chain_set.incomplete} incomplete (ring drops)")
+    if chain_set.untagged:
+        extras.append(f"{chain_set.untagged} untagged")
+    if extras:
+        headline += " (" + ", ".join(extras) + ")"
+    sections.append(headline)
+
+    totals = chain_set.phase_totals()
+    phase_rows: List[Sequence[object]] = []
+    for phase, cycles in totals.items():
+        count = sum(1 for c in chains if phase in c.phases)
+        share = 100.0 * cycles / total_latency if total_latency else 0.0
+        phase_rows.append([
+            phase,
+            round(cycles, 1),
+            f"{share:.1f}%",
+            round(cycles / count, 1) if count else 0.0,
+            count,
+        ])
+    sections.append(
+        format_table(["phase", "cycles", "share", "mean", "txns"], phase_rows)
+    )
+
+    slowest = chain_set.top_slowest(top)
+    if slowest:
+        lines = ["slowest transactions:"]
+        for c in slowest:
+            lines.append(
+                f"  #{c.txn_id} {c.kind} block {c.block} "
+                f"cluster {c.requester} -> home {c.home}: "
+                f"{c.latency:,.1f} cycles @ {c.t_issue:,.1f}"
+            )
+            for phase, cycles in c.ordered_phases():
+                notes = ""
+                if phase == "net_request" and c.retries:
+                    notes = f"  ({c.retries} retries, {c.faults} faults)"
+                elif phase == "inval_fanout" and (c.invals or c.cache_invals):
+                    notes = (
+                        f"  ({c.invals} invals, "
+                        f"{c.cache_invals} copies killed)"
+                    )
+                lines.append(f"      {phase:<13} {cycles:>10,.1f}{notes}")
+        sections.append("\n".join(lines))
+
+    if histograms:
+        for phase, hist in sorted(chain_set.histograms.items()):
+            d = hist.to_dict()
+            buckets: Mapping[str, int] = d.get("buckets", {})  # type: ignore[assignment]
+            sections.append(
+                f"phase {phase}: count={d['count']} mean={d['mean']}"
+            )
+            if buckets:
+                peak = max(buckets.values())
+                rows = []
+                for ub in sorted(buckets, key=int):
+                    n = buckets[ub]
+                    bar = "#" * max(1, round(30 * n / peak)) if n else ""
+                    rows.append(f"  < {ub:>8}  {n:8,}  {bar}")
+                sections.append("\n".join(rows))
+    return "\n".join(sections)
 
 
 def normalized(

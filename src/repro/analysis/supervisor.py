@@ -71,6 +71,8 @@ from typing import (
 )
 
 from repro.machine.stats import SimStats
+from repro.obs.aggregate import PointTelemetry
+from repro.obs.dashboard import SweepMonitor
 from repro.obs.tracer import NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -450,15 +452,25 @@ def _supervised_worker(
     specs: Sequence["PointSpec"],
     conn: "connection.Connection",
     chaos: Optional[ChaosPlan],
+    telemetry_capacity: Optional[int] = None,
 ) -> None:
     """Forked worker loop: receive ``(index, attempt)`` tasks, stream results.
 
     Protocol (worker -> parent): ``("start", idx, attempt)`` heartbeat
-    before simulating, then ``("done", idx, attempt, stats, wall)`` or
-    ``("fail", idx, attempt, exc)``.  A clean exception keeps the worker
-    alive for its next task; ``KeyboardInterrupt``/``SystemExit`` are
-    *not* swallowed — SIGINT is restored to its default disposition so
-    Ctrl-C is handled once, by the parent's supervisor loop.
+    before simulating, then ``("done", idx, attempt, stats, wall,
+    telemetry)`` or ``("fail", idx, attempt, exc)``.  A clean exception
+    keeps the worker alive for its next task; ``KeyboardInterrupt``/
+    ``SystemExit`` are *not* swallowed — SIGINT is restored to its
+    default disposition so Ctrl-C is handled once, by the parent's
+    supervisor loop.
+
+    With ``telemetry_capacity`` set (sweep aggregation on), each point
+    runs under a fresh real :class:`~repro.obs.tracer.Tracer` and its
+    :class:`~repro.obs.aggregate.PointTelemetry` rides the ``done``
+    message.  The shipped ``SimStats`` has its metrics reference
+    stripped first: metrics travel in the telemetry, and the stats stay
+    byte-identical to an untraced run (the zero-cost guarantee holds
+    through the pipe, the result cache, and the results table).
     """
     from repro.machine.system import run_workload
 
@@ -480,11 +492,22 @@ def _supervised_worker(
             conn.send(("start", idx, attempt))
             if chaos is not None:
                 chaos.strike(idx, attempt)
+            tracer: Optional[Tracer] = None
+            if telemetry_capacity is not None:
+                tracer = Tracer(telemetry_capacity)
             t0 = time.perf_counter()
             stats = run_workload(
-                spec.config, spec.workload_factory(), check=spec.check
+                spec.config, spec.workload_factory(), check=spec.check,
+                obs=tracer,
             )
-            conn.send(("done", idx, attempt, stats, time.perf_counter() - t0))
+            wall = time.perf_counter() - t0
+            telemetry: Optional[PointTelemetry] = None
+            if tracer is not None:
+                stats.metrics = None  # metrics ship in the telemetry
+                telemetry = PointTelemetry.capture(
+                    tracer, index=idx, label=spec.label, wall_s=wall
+                )
+            conn.send(("done", idx, attempt, stats, wall, telemetry))
         except Exception as exc:  # noqa: BLE001 - relayed to the parent
             import pickle
 
@@ -537,12 +560,16 @@ class SupervisedRunner:
         policy: Optional[SupervisorPolicy] = None,
         *,
         obs: Optional[Tracer] = None,
+        telemetry_capacity: Optional[int] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.jobs = jobs
         self.policy = policy if policy is not None else SupervisorPolicy()
         self.obs = obs if obs is not None else NULL_TRACER
+        #: per-point tracer ring capacity inside workers; None = tracing
+        #: off in workers (the zero-cost default)
+        self.telemetry_capacity = telemetry_capacity
         self._interrupted: Optional[int] = None
 
     # -- signal handling ----------------------------------------------------
@@ -583,6 +610,8 @@ class SupervisedRunner:
         *,
         on_quarantine: Optional[Callable[[int, BaseException], None]] = None,
         report: Optional[SweepReport] = None,
+        on_telemetry: Optional[Callable[[PointTelemetry], None]] = None,
+        monitor: Optional[SweepMonitor] = None,
     ) -> Dict[int, SimStats]:
         """Execute the points at ``indices`` under supervision.
 
@@ -590,7 +619,13 @@ class SupervisedRunner:
         results stream in (grid-order delivery is the caller's job, as
         with the unsupervised runner).  ``on_quarantine(idx, error)``
         fires when keep-going gives up on a point.  ``report`` (if
-        given) accumulates per-point outcomes.
+        given) accumulates per-point outcomes.  With
+        ``telemetry_capacity`` set on the runner, ``on_telemetry(pt)``
+        fires once per completed point with the worker's captured
+        :class:`~repro.obs.aggregate.PointTelemetry` (same first-result
+        dedup as ``on_complete``).  ``monitor`` (a
+        :class:`~repro.obs.dashboard.SweepMonitor`) receives point
+        lifecycle callbacks plus a ``tick()`` per supervisor loop turn.
 
         Fail-fast mode (``keep_going=False``): the first point that
         exhausts its retries stops new dispatch; in-flight points are
@@ -618,7 +653,8 @@ class SupervisedRunner:
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
                 target=_supervised_worker,
-                args=(specs, child_conn, policy.chaos),
+                args=(specs, child_conn, policy.chaos,
+                      self.telemetry_capacity),
                 daemon=True,
             )
             proc.start()
@@ -648,6 +684,8 @@ class SupervisedRunner:
                               "attempt": failures[idx],
                               "label": label(idx)},
                     )
+                if monitor is not None:
+                    monitor.point_retry(idx, label(idx), kind)
                 return
             outstanding.discard(idx)
             if policy.keep_going:
@@ -658,6 +696,8 @@ class SupervisedRunner:
                     )
                 if self.obs.enabled:
                     self.obs.metrics.counter("sweep_quarantined").inc()
+                if monitor is not None:
+                    monitor.point_quarantined(idx, label(idx))
                 if on_quarantine is not None:
                     on_quarantine(idx, exc)
             else:
@@ -691,8 +731,10 @@ class SupervisedRunner:
                     _, idx, attempt = msg
                     if w.current == idx:
                         w.started_at = time.monotonic()
+                        if monitor is not None and w.proc.pid is not None:
+                            monitor.point_started(idx, label(idx), w.proc.pid)
                 elif tag == "done":
-                    _, idx, attempt, stats, wall = msg
+                    _, idx, attempt, stats, wall, telemetry = msg
                     w.current, w.started_at = None, None
                     if idx not in outstanding:
                         continue  # resolved elsewhere (late arrival)
@@ -700,6 +742,10 @@ class SupervisedRunner:
                     results[idx] = stats
                     if report is not None:
                         report.mark_completed(idx, label(idx), wall)
+                    if telemetry is not None and on_telemetry is not None:
+                        on_telemetry(telemetry)
+                    if monitor is not None:
+                        monitor.point_done(idx, label(idx), wall)
                     if on_complete is not None:
                         on_complete(idx, stats, wall)
                 elif tag == "fail":
@@ -798,6 +844,8 @@ class SupervisedRunner:
                 # 5. keep the worker pool sized to the remaining work
                 while len(workers) < min(self.jobs, len(outstanding)):
                     spawn()
+                if monitor is not None:
+                    monitor.tick()
         finally:
             self._shutdown(workers, drain)
             self._restore_signals(saved)

@@ -44,11 +44,12 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import os
 import pickle
 import queue as queue_mod
 import signal
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
@@ -76,6 +77,8 @@ from repro.analysis.supervisor import (
 from repro.machine.config import MachineConfig
 from repro.machine.stats import STATS_SCHEMA, SimStats
 from repro.machine.system import run_workload
+from repro.obs.aggregate import PointTelemetry, SweepAggregator
+from repro.obs.dashboard import SweepMonitor
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.trace.workload import Workload
 
@@ -367,6 +370,8 @@ def run_points(
     policy: Optional[SupervisorPolicy] = None,
     report: Optional[SweepReport] = None,
     manifest: Optional[SweepManifest] = None,
+    aggregate: Optional[SweepAggregator] = None,
+    monitor: Optional[SweepMonitor] = None,
 ) -> List[Optional[SimStats]]:
     """Execute point specs with parallelism, caching, and supervision.
 
@@ -376,6 +381,19 @@ def run_points(
     follows the contract documented at module level.  ``obs`` emits one
     ``sweep.point`` span per completed point plus ``sweep_cache_hits`` /
     ``sweep_cache_misses`` counters through the declared registry names.
+
+    ``aggregate`` (a :class:`~repro.obs.aggregate.SweepAggregator`)
+    turns on cross-worker trace aggregation: every simulated point —
+    serial or forked — runs under a fresh real tracer sized to
+    ``aggregate.capacity``, and its captured
+    :class:`~repro.obs.aggregate.PointTelemetry` is merged into the
+    aggregator as results stream in.  The stats a point returns (and
+    caches) are byte-identical with or without aggregation: workers
+    strip the metrics reference before shipping, so the telemetry is
+    the only channel the observability data travels on.  ``monitor``
+    (a :class:`~repro.obs.dashboard.SweepMonitor`, e.g. the live
+    dashboard) receives begin/point lifecycle/tick/finish callbacks
+    from the parent process on every execution path.
 
     Resilience: the parallel path always runs under
     :class:`~repro.analysis.supervisor.SupervisedRunner` — a worker
@@ -403,6 +421,8 @@ def run_points(
             keys[i] = point_key(
                 spec.config, spec.workload_factory(), check=spec.check
             )
+    if monitor is not None:
+        monitor.begin(total=n, jobs=max(1, jobs))
     if cache is not None:
         for i in range(n):
             hit = cache.get(keys[i])
@@ -413,6 +433,8 @@ def run_points(
                     report.mark_cached(i, specs[i].label)
                 if manifest is not None:
                     manifest.statuses[i] = "cached"
+                if monitor is not None:
+                    monitor.point_cached(i, specs[i].label)
     if manifest is not None:
         for i in range(n):
             if i not in cached:
@@ -469,28 +491,44 @@ def run_points(
                 args={"index": i, "cached": True, "label": specs[i].label},
             )
 
+    def _telemetry(point: PointTelemetry) -> None:
+        if aggregate is not None:
+            aggregate.add(point)
+        if monitor is not None:
+            monitor.telemetry(point)
+
     fork_ok = _fork_context() is not None
     use_workers = fork_ok and misses and (
         (jobs > 1 and len(misses) > 1) or supervised
     )
     if pol.chaos is not None and not use_workers and misses:
         raise RuntimeError("chaos injection requires fork-based workers")
-    if use_workers:
-        runner = SupervisedRunner(
-            max(1, min(jobs, len(misses))), pol, obs=obs
-        )
-        _deliver_prefix()
-        runner.run(
-            specs, misses, on_complete=_record,
-            on_quarantine=_quarantine, report=report,
-        )
-    else:
-        _deliver_prefix()
-        for i in misses:
-            _run_point_serial(
-                specs[i], i, pol if supervised else None,
-                _record, _quarantine, report, obs,
+    try:
+        if use_workers:
+            runner = SupervisedRunner(
+                max(1, min(jobs, len(misses))), pol, obs=obs,
+                telemetry_capacity=(
+                    aggregate.capacity if aggregate is not None else None
+                ),
             )
+            _deliver_prefix()
+            runner.run(
+                specs, misses, on_complete=_record,
+                on_quarantine=_quarantine, report=report,
+                on_telemetry=_telemetry if aggregate is not None else None,
+                monitor=monitor,
+            )
+        else:
+            _deliver_prefix()
+            for i in misses:
+                _run_point_serial(
+                    specs[i], i, pol if supervised else None,
+                    _record, _quarantine, report, obs,
+                    aggregate=aggregate, monitor=monitor,
+                )
+    finally:
+        if monitor is not None:
+            monitor.finish()
     assert next_i == n, "internal error: sweep points missing"
     return [stats_by_index.get(i) for i in range(n)]
 
@@ -503,24 +541,47 @@ def _run_point_serial(
     quarantine: Callable[[int, BaseException], None],
     report: Optional[SweepReport],
     obs: Tracer,
+    *,
+    aggregate: Optional[SweepAggregator] = None,
+    monitor: Optional[SweepMonitor] = None,
 ) -> None:
     """One in-process point with the serial subset of the retry policy.
 
     The fork-free fallback cannot preempt a hung simulation, so
     ``timeout`` and ``chaos`` do not apply; bounded retry of exceptions
-    (when ``retry_errors``) and keep-going quarantine still do.
+    (when ``retry_errors``) and keep-going quarantine still do.  With
+    ``aggregate``, the point runs under a fresh per-attempt tracer and
+    its telemetry is merged exactly as the forked path does it — same
+    capacity, same metrics stripping, same stats bytes.
     """
     attempt = 0
     while True:
         attempt += 1
         try:
+            if monitor is not None:
+                monitor.point_started(i, spec.label, os.getpid())
+            tracer: Optional[Tracer] = None
+            if aggregate is not None:
+                tracer = Tracer(aggregate.capacity)
             t0 = time.perf_counter()
             stats = run_workload(
-                spec.config, spec.workload_factory(), check=spec.check
+                spec.config, spec.workload_factory(), check=spec.check,
+                obs=tracer,
             )
             wall = time.perf_counter() - t0
+            if tracer is not None:
+                stats.metrics = None  # metrics travel in the telemetry
+                telemetry = PointTelemetry.capture(
+                    tracer, index=i, label=spec.label, wall_s=wall
+                )
+                if aggregate is not None:
+                    aggregate.add(telemetry)
+                if monitor is not None:
+                    monitor.telemetry(telemetry)
             if report is not None:
                 report.mark_completed(i, spec.label, wall)
+            if monitor is not None:
+                monitor.point_done(i, spec.label, wall)
             record(i, stats, wall)
             return
         except Exception as exc:
@@ -536,6 +597,8 @@ def _run_point_serial(
                         args={"index": i, "kind": "error",
                               "attempt": attempt, "label": spec.label},
                     )
+                if monitor is not None:
+                    monitor.point_retry(i, spec.label, "error")
                 time.sleep(policy.backoff * (2 ** (attempt - 1)))
                 continue
             if policy is not None and policy.keep_going:
@@ -543,6 +606,8 @@ def _run_point_serial(
                     report.mark_quarantined(i, exc, label=spec.label)
                 if obs.enabled:
                     obs.metrics.counter("sweep_quarantined").inc()
+                if monitor is not None:
+                    monitor.point_quarantined(i, spec.label)
                 quarantine(i, exc)
                 return
             if report is not None:
@@ -623,6 +688,8 @@ class Sweep:
         policy: Optional[SupervisorPolicy] = None,
         report: Optional[SweepReport] = None,
         manifest: Optional[SweepManifest] = None,
+        aggregate: Optional[SweepAggregator] = None,
+        monitor: Optional[SweepMonitor] = None,
     ) -> SweepResults:
         """Run every grid point; optionally parallel, cached, and traced.
 
@@ -637,7 +704,9 @@ class Sweep:
         ``policy``/``report``/``manifest`` — supervision knobs, see
         :func:`run_points`; under ``policy.keep_going`` quarantined
         points are simply absent from the returned results (the
-        ``report`` records why).
+        ``report`` records why).  ``aggregate``/``monitor`` — sweep
+        observability (merged per-point telemetry, live dashboard), see
+        :func:`run_points`.
         """
         grid = self.grid()
         specs = self.specs()
@@ -647,6 +716,7 @@ class Sweep:
         stats_list = run_points(
             specs, jobs=jobs, cache=cache, progress=wrapped, obs=obs,
             policy=policy, report=report, manifest=manifest,
+            aggregate=aggregate, monitor=monitor,
         )
         points = [
             SweepPoint(tuple(overrides.items()), stats)

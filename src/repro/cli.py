@@ -213,6 +213,30 @@ def cmd_sweep(args) -> int:
             print(f"resuming sweep {manifest.sweep_key[:12]}: "
                   f"{len(done)}/{len(keys)} points already recorded")
 
+    aggregate = None
+    if args.obs_out:
+        from repro.obs.aggregate import SweepAggregator
+
+        aggregate = SweepAggregator()
+    monitor = None
+    if args.dashboard:
+        from repro.obs.dashboard import SweepDashboard
+
+        monitor = SweepDashboard()
+
+    def _write_aggregate() -> None:
+        assert aggregate is not None
+        paths = aggregate.write(
+            args.obs_out,
+            meta={"app": args.app, "procs": args.procs},
+            compress=args.gzip,
+        )
+        print(f"\n[obs] merged {len(aggregate.points)} points from "
+              f"{aggregate.workers} workers ({aggregate.emitted:,} events, "
+              f"{aggregate.dropped:,} dropped from worker rings)")
+        for kind in ("trace", "summary", "metrics"):
+            print(f"  {kind:7s}: {paths[kind]}")
+
     progress = None
     if args.progress:
         total = len(sweep.grid())
@@ -227,12 +251,15 @@ def cmd_sweep(args) -> int:
         results = sweep.run(
             jobs=args.jobs, cache=cache, progress=progress,
             policy=policy, report=report, manifest=manifest,
+            aggregate=aggregate, monitor=monitor,
         )
     except SweepInterrupted as exc:
         print(f"\n{exc}")
         if report is not None and args.report:
             report.save(args.report)
             print(f"wrote {args.report}")
+        if aggregate is not None and aggregate.points:
+            _write_aggregate()  # keep the telemetry that did arrive
         if cache is not None:
             print("rerun with --resume to execute only the missing points")
         return 130
@@ -250,6 +277,8 @@ def cmd_sweep(args) -> int:
             print(f"wrote {args.report}")
     if cache is not None:
         print(f"\n[{cache.summary()}]")
+    if aggregate is not None:
+        _write_aggregate()
     return 0
 
 
@@ -447,6 +476,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "match a fault-free run")
     p.add_argument("--report", default=None, metavar="PATH",
                    help="write the per-point SweepReport JSON here")
+    p.add_argument("--obs-out", default=None, metavar="DIR",
+                   help="trace every point (serial or forked workers) and "
+                        "write one merged Perfetto trace plus summary and "
+                        "metrics JSON under DIR")
+    p.add_argument("--dashboard", action="store_true",
+                   help="live sweep dashboard: an ANSI panel on a TTY, "
+                        "periodic plain log lines otherwise")
+    p.add_argument("--gzip", action="store_true",
+                   help="gzip the merged --obs-out trace")
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("compare", help="one app across several schemes")

@@ -193,16 +193,18 @@ class ProcessorCache:
             return True
         return False
 
-    def invalidate(self, block: int) -> bool:
+    def invalidate(self, block: int, txn_id: Optional[int] = None) -> bool:
         """Drop the block everywhere; returns True if a copy existed."""
         had = self.l2.invalidate(block) is not None
         self.l1.invalidate(block)
         had_wb = block in self.wb_buffer
         self.wb_buffer.discard(block)
         if (had or had_wb) and self.tracer.enabled:
+            args: Dict[str, object] = {"block": block}
+            if txn_id is not None:
+                args["txn_id"] = txn_id
             self.tracer.emit_now(
-                "cache.inval", comp="cache", tid=self.tid,
-                args={"block": block},
+                "cache.inval", comp="cache", tid=self.tid, args=args,
             )
         return had or had_wb
 

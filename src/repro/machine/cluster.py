@@ -127,14 +127,22 @@ class Cluster:
         state = LineState.DIRTY if dirty else LineState.SHARED
         return self._install(proc_idx, block, state)
 
-    def invalidate_block(self, block: int) -> bool:
-        """Bus invalidation broadcast; True if any cache had a copy."""
+    def invalidate_block(
+        self, block: int, txn_id: Optional[int] = None
+    ) -> bool:
+        """Bus invalidation broadcast; True if any cache had a copy.
+
+        ``txn_id`` tags the traced ``cache.inval`` events with the
+        transaction that caused them (causal chain reconstruction).
+        """
         had = False
         for c in self.caches:
-            had |= c.invalidate(block)
+            had |= c.invalidate(block, txn_id=txn_id)
         return had
 
-    def invalidate_if_clean(self, block: int) -> bool:
+    def invalidate_if_clean(
+        self, block: int, txn_id: Optional[int] = None
+    ) -> bool:
         """Invalidate only a clean copy; dirty data is left untouched.
 
         Used for directory-group invalidations (shared-entry stores):
@@ -143,7 +151,7 @@ class Cluster:
         """
         if self.holds_dirty(block):  # live dirty line or in-flight writeback
             return False
-        return self.invalidate_block(block)
+        return self.invalidate_block(block, txn_id=txn_id)
 
     def downgrade_block(self, block: int) -> bool:
         """Owner downgrade for a forwarded read; True if a copy was here."""

@@ -54,12 +54,17 @@ WRITEBACK = "writeback"
 HINT = "hint"
 
 
+def _nonzero_phases(**phases: float) -> Dict[str, float]:
+    """Keep only the nonzero phase legs (sums are unaffected)."""
+    return {name: cycles for name, cycles in phases.items() if cycles}
+
+
 class Transaction:
     """One memory transaction travelling to a home directory."""
 
     __slots__ = ("kind", "block", "requester", "proc_idx", "on_complete",
                  "still_shared", "attempts", "delivered", "t_arrive",
-                 "t_start")
+                 "t_start", "txn_id", "phases")
 
     def __init__(
         self,
@@ -69,6 +74,7 @@ class Transaction:
         proc_idx: int = 0,
         on_complete: Optional[Callable[[float], None]] = None,
         still_shared: bool = False,
+        txn_id: Optional[int] = None,
     ) -> None:
         self.kind = kind
         self.block = block
@@ -86,6 +92,13 @@ class Transaction:
         #: (later than t_arrive if the block was busy or the controller
         #: occupied); trace conformance orders services by this instant
         self.t_start = 0.0
+        #: causal correlation id threaded through every span this
+        #: transaction produces (None when tracing is disabled — see
+        #: repro.obs.causal for the chain reconstruction it enables)
+        self.txn_id = txn_id
+        #: exact service-latency decomposition recorded at execute time
+        #: (cycles per phase; the values sum to the execution delta)
+        self.phases: Optional[Dict[str, float]] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Txn {self.kind} block={self.block} from={self.requester}>"
@@ -144,7 +157,8 @@ class DirectoryController:
         # so they are never delayed and never retried — see faults.py.
         best_effort = txn.kind == HINT
         d = deliver(
-            txn.requester, self.cluster_id, now, reorderable=not best_effort
+            txn.requester, self.cluster_id, now,
+            reorderable=not best_effort, txn_id=txn.txn_id,
         )
         if d.fault is not None:
             machine.stats.count_fault(d.fault)
@@ -176,14 +190,18 @@ class DirectoryController:
         """Record one wire message (inject -> deliver) when tracing."""
         obs = self.machine.obs
         if obs.enabled:
+            args: Dict[str, object] = {
+                "kind": txn.kind, "block": txn.block, "dst": self.cluster_id,
+            }
+            if txn.txn_id is not None:
+                args["txn_id"] = txn.txn_id
             obs.emit(
                 "net.msg",
                 ts=sent,
                 dur=arrival - sent,
                 comp="network",
                 tid=txn.requester,
-                args={"kind": txn.kind, "block": txn.block,
-                      "dst": self.cluster_id},
+                args=args,
             )
             obs.metrics.histogram("msg_latency").observe(arrival - sent)
 
@@ -211,10 +229,15 @@ class DirectoryController:
         delay = extra_delay + plan.backoff(txn.attempts)
         obs = machine.obs
         if obs.enabled:
+            retry_args: Dict[str, object] = {
+                "kind": txn.kind, "block": txn.block,
+                "attempt": txn.attempts,
+            }
+            if txn.txn_id is not None:
+                retry_args["txn_id"] = txn.txn_id
             obs.emit_now(
                 "txn.retry", comp="directory", tid=self.cluster_id,
-                args={"kind": txn.kind, "block": txn.block,
-                      "attempt": txn.attempts},
+                args=retry_args,
             )
             obs.metrics.counter("retries").inc()
             obs.metrics.histogram("retry_wait").observe(delay)
@@ -325,6 +348,10 @@ class DirectoryController:
             }
             if txn.kind == WRITEBACK:
                 args["still_shared"] = txn.still_shared
+            if txn.txn_id is not None:
+                args["txn_id"] = txn.txn_id
+            if txn.phases is not None:
+                args["phases"] = dict(txn.phases)
             obs.emit(
                 "dir.service",
                 ts=txn.t_arrive,
@@ -353,15 +380,20 @@ class DirectoryController:
     # -- observability helpers ---------------------------------------------
 
     def _trace_inval_round(
-        self, cause: InvalCause, block: int, inval_msgs: int
+        self, cause: InvalCause, block: int, inval_msgs: int,
+        txn_id: Optional[int] = None,
     ) -> None:
         """Record one invalidation round (event + per-cause histogram)."""
         obs = self.machine.obs
         if obs.enabled:
+            round_args: Dict[str, object] = {
+                "cause": cause.value, "block": block, "invals": inval_msgs,
+            }
+            if txn_id is not None:
+                round_args["txn_id"] = txn_id
             obs.emit_now(
                 "dir.inval_round", comp="directory", tid=self.cluster_id,
-                args={"cause": cause.value, "block": block,
-                      "invals": inval_msgs},
+                args=round_args,
             )
             obs.metrics.histogram(
                 f"invals_per_event.{cause.value}"
@@ -390,7 +422,7 @@ class DirectoryController:
             txn.block, avoid=self._pinned_blocks(txn.block)
         )
         self._sample_occupancy()
-        delta = self._process_sparse_evictions(evictions)
+        delta = self._process_sparse_evictions(evictions, txn.txn_id)
 
         if line.dirty and line.owner is not None and line.owner != req:
             # Forward to the owning cluster: it downgrades to SHARED,
@@ -407,11 +439,19 @@ class DirectoryController:
             # no entry.reset(): while a block is dirty its presence entry
             # records no sharers of it (at most the pooled group-mates of
             # a SharedEntryDirectory, which must be preserved)
-            self._record_sharer(line, owner, txn.block)
-            self._record_sharer(line, req, txn.block)
+            self._record_sharer(line, owner, txn.block, txn.txn_id)
+            self._record_sharer(line, req, txn.block, txn.txn_id)
             self.machine.count_msg(MsgClass.REQUEST, home, owner)  # forward
             self.machine.count_msg(MsgClass.REPLY, owner, req)  # data
             self.machine.count_msg(MsgClass.REQUEST, owner, home)  # sharing wb
+            if self.machine.obs.enabled:
+                txn.phases = _nonzero_phases(
+                    sparse_recall=delta,
+                    dir_lookup=cfg.dir_service_cycles,
+                    net_forward=net.leg(home, owner),
+                    remote_cache=cfg.cache_service_cycles,
+                    net_reply=net.leg(owner, req),
+                )
             return (
                 delta
                 + cfg.dir_service_cycles
@@ -427,28 +467,36 @@ class DirectoryController:
             self._cancel_inflight_writeback(txn.block, req)
             line.dirty = False
             line.owner = None
-        self._record_sharer(line, req, txn.block)
+        self._record_sharer(line, req, txn.block, txn.txn_id)
         self.machine.count_msg(MsgClass.REPLY, home, req)
+        if self.machine.obs.enabled:
+            txn.phases = _nonzero_phases(
+                sparse_recall=delta,
+                memory=cfg.bus_cycles,
+                net_reply=net.leg(home, req),
+            )
         return delta + cfg.bus_cycles + net.leg(home, req)
 
-    def _record_sharer(self, line: DirLine, node: int, block: int) -> None:
+    def _record_sharer(
+        self, line: DirLine, node: int, block: int,
+        txn_id: Optional[int] = None,
+    ) -> None:
         """Add a sharer, handling Dir_iNB's forced evictions."""
         victims = line.entry.record_sharer(node)
         if not victims:
             return
         machine = self.machine
-        cfg = machine.config
         home = self.cluster_id
         inval_msgs = 0
         for victim in victims:
-            machine.clusters[victim].invalidate_block(block)
+            machine.clusters[victim].invalidate_block(block, txn_id=txn_id)
             if victim != home:
                 machine.count_msg(MsgClass.INVALIDATION, home, victim)
                 machine.count_msg(MsgClass.ACKNOWLEDGEMENT, victim, home)
                 inval_msgs += 1
         machine.stats.nb_evictions += len(victims)
         machine.stats.record_inval_event(InvalCause.NB_EVICT, inval_msgs)
-        self._trace_inval_round(InvalCause.NB_EVICT, block, inval_msgs)
+        self._trace_inval_round(InvalCause.NB_EVICT, block, inval_msgs, txn_id)
         if machine.invariants is not None:
             # acks return to the home's RAC, so recipient == home
             machine.invariants.on_inval_round(
@@ -471,13 +519,15 @@ class DirectoryController:
             txn.block, avoid=self._pinned_blocks(txn.block)
         )
         self._sample_occupancy()
-        delta = self._process_sparse_evictions(evictions)
+        delta = self._process_sparse_evictions(evictions, txn.txn_id)
 
         if line.dirty and line.owner is not None and line.owner != req:
             # Ownership transfer: forward to owner, which invalidates its
             # copy, sends data+ownership to the requester, and notifies us.
             owner = line.owner
-            machine.clusters[owner].invalidate_block(txn.block)
+            machine.clusters[owner].invalidate_block(
+                txn.block, txn_id=txn.txn_id
+            )
             line.owner = req  # stays dirty
             # ownership grant: req's earlier writebacks (if any are still
             # in flight) predate this grant and must never match
@@ -485,6 +535,14 @@ class DirectoryController:
             machine.count_msg(MsgClass.REQUEST, home, owner)  # forward
             machine.count_msg(MsgClass.REPLY, owner, req)  # data+ownership
             machine.count_msg(MsgClass.REQUEST, owner, home)  # transfer notice
+            if machine.obs.enabled:
+                txn.phases = _nonzero_phases(
+                    sparse_recall=delta,
+                    dir_lookup=cfg.dir_service_cycles,
+                    net_forward=net.leg(home, owner),
+                    remote_cache=cfg.cache_service_cycles,
+                    net_reply=net.leg(owner, req),
+                )
             return (
                 delta
                 + cfg.dir_service_cycles
@@ -549,9 +607,11 @@ class DirectoryController:
         worst_ack = 0.0
         serial_path = 0.0
         for i, t in enumerate(targets):
-            machine.clusters[t].invalidate_block(txn.block)
+            machine.clusters[t].invalidate_block(txn.block, txn_id=txn.txn_id)
             for mate in group_mates:
-                machine.clusters[t].invalidate_if_clean(mate)
+                machine.clusters[t].invalidate_if_clean(
+                    mate, txn_id=txn.txn_id
+                )
             if t != home:
                 machine.count_msg(MsgClass.INVALIDATION, home, t)
                 inval_msgs += 1
@@ -577,7 +637,9 @@ class DirectoryController:
         if not serial:
             self._ctrl_free += len(targets) * cfg.inval_issue_cycles
         machine.stats.record_inval_event(InvalCause.WRITE, inval_msgs)
-        self._trace_inval_round(InvalCause.WRITE, txn.block, inval_msgs)
+        self._trace_inval_round(
+            InvalCause.WRITE, txn.block, inval_msgs, txn.txn_id
+        )
         if machine.invariants is not None:
             # the writer collects one ack per target (targets exclude req)
             machine.invariants.on_inval_round(
@@ -600,6 +662,16 @@ class DirectoryController:
 
         reply_path = cfg.bus_cycles + net.leg(home, req)
         ack_path = (cfg.dir_service_cycles + worst_ack) if targets else 0.0
+        if machine.obs.enabled:
+            # inval_fanout is the latency the ack collection adds *beyond*
+            # the direct ownership reply — the §6.2 overhead a coarse
+            # vector's extra invalidations inflate
+            txn.phases = _nonzero_phases(
+                sparse_recall=delta,
+                memory=cfg.bus_cycles,
+                net_reply=net.leg(home, req),
+                inval_fanout=max(reply_path, ack_path) - reply_path,
+            )
         return delta + max(reply_path, ack_path)
 
     # -- writebacks and hints ------------------------------------------------------
@@ -676,7 +748,9 @@ class DirectoryController:
 
     # -- sparse replacement ----------------------------------------------------------
 
-    def _process_sparse_evictions(self, evictions: List[Eviction]) -> float:
+    def _process_sparse_evictions(
+        self, evictions: List[Eviction], txn_id: Optional[int] = None
+    ) -> float:
         """Invalidate all copies of replaced entries' blocks (RAC duty).
 
         Returns the latency penalty charged to the triggering transaction:
@@ -695,7 +769,7 @@ class DirectoryController:
             inval_msgs = 0
             worst = 0.0
             for i, t in enumerate(ev.targets):
-                machine.clusters[t].invalidate_block(ev.block)
+                machine.clusters[t].invalidate_block(ev.block, txn_id=txn_id)
                 if t != home:
                     machine.count_msg(MsgClass.INVALIDATION, home, t)
                     machine.count_msg(MsgClass.ACKNOWLEDGEMENT, t, home)
@@ -709,15 +783,20 @@ class DirectoryController:
                 )
             self._ctrl_free += len(ev.targets) * cfg.inval_issue_cycles
             if machine.obs.enabled:
+                evict_args: Dict[str, object] = {
+                    "block": ev.block, "targets": len(ev.targets),
+                    "nodes": sorted(ev.targets),
+                }
+                if txn_id is not None:
+                    evict_args["txn_id"] = txn_id
                 machine.obs.emit_now(
                     "dir.sparse_evict", comp="directory", tid=home,
-                    args={"block": ev.block, "targets": len(ev.targets),
-                          "nodes": sorted(ev.targets)},
+                    args=evict_args,
                 )
             if ev.targets:
                 machine.stats.record_inval_event(InvalCause.SPARSE_REPL, inval_msgs)
                 self._trace_inval_round(
-                    InvalCause.SPARSE_REPL, ev.block, inval_msgs
+                    InvalCause.SPARSE_REPL, ev.block, inval_msgs, txn_id
                 )
             if machine.invariants is not None:
                 # replacement acks also return to the home's RAC (§7)

@@ -133,9 +133,14 @@ class FaultyNetwork(Network):
         return self.inner.leg(src, dst)
 
     def deliver(
-        self, src: int, dst: int, now: float, *, reorderable: bool = True
+        self, src: int, dst: int, now: float, *, reorderable: bool = True,
+        txn_id: int | None = None,
     ) -> Delivery:
-        """Arrival schedule for one request message sent at ``now``."""
+        """Arrival schedule for one request message sent at ``now``.
+
+        ``txn_id`` tags the traced ``net.fault`` event with the faulted
+        transaction (causal chain reconstruction).
+        """
         leg = self.inner.leg(src, dst)
         if src == dst:
             return Delivery(arrivals=(now + leg,))
@@ -143,9 +148,13 @@ class FaultyNetwork(Network):
         if kind is None:
             return Delivery(arrivals=(now + leg,))
         if self.tracer.enabled:
+            args: dict[str, object] = {
+                "kind": kind.value, "src": src, "dst": dst,
+            }
+            if txn_id is not None:
+                args["txn_id"] = txn_id
             self.tracer.emit(
-                "net.fault", ts=now, comp="network", tid=src,
-                args={"kind": kind.value, "src": src, "dst": dst},
+                "net.fault", ts=now, comp="network", tid=src, args=args,
             )
         if kind is FaultKind.DROP:
             return Delivery(arrivals=(), fault=kind)

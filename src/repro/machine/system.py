@@ -104,6 +104,9 @@ class DashSystem:
         self.sync = SyncManager(self)
         self.processors: List[Processor] = []
         self._finished = 0
+        #: monotone causal id for traced transactions (0 = never traced);
+        #: advanced only when tracing is on, so untraced runs are untouched
+        self._txn_seq = 0
         #: optional callable(proc_id, op, time) observing every op as it
         #: is issued — used by trace.recorder.InterleavingRecorder
         self.trace_hook = None
@@ -192,6 +195,12 @@ class DashSystem:
         home = self.home_of(block)
         obs = self.obs
         t_issue = self.events.now
+        txn_id: Optional[int] = None
+        if obs.enabled:
+            # the causal correlation id every span this transaction
+            # produces carries (see repro.obs.causal)
+            self._txn_seq += 1
+            txn_id = self._txn_seq
 
         def on_complete(t: float) -> None:
             if obs.enabled:
@@ -202,7 +211,8 @@ class DashSystem:
                     dur=t - t_issue,
                     comp="directory",
                     tid=home,
-                    args={"block": block, "requester": cluster_id},
+                    args={"block": block, "requester": cluster_id,
+                          "txn_id": txn_id},
                 )
                 obs.metrics.histogram(f"txn_latency.{kind}").observe(t - t_issue)
             evictions = cluster.install_from_directory(
@@ -217,6 +227,7 @@ class DashSystem:
             cluster_id,
             proc.proc_idx,
             on_complete,
+            txn_id=txn_id,
         )
         self.directories[home].submit(txn)
 

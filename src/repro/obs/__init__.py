@@ -14,11 +14,33 @@ The simulator's measurement substrate (see ``docs/observability.md``):
 * :mod:`repro.obs.profiler` — wall-time sim-phase profiler;
 * :mod:`repro.obs.telemetry` — schema-versioned ``BENCH_*.json`` writer
   for the perf-regression pipeline;
-* :mod:`repro.obs.cli` — ``repro obs trace`` / ``summarize`` / ``diff``.
+* :mod:`repro.obs.aggregate` — cross-worker sweep telemetry: per-point
+  capture in workers, exact parent-side merge, one Perfetto trace with
+  worker ``pid`` lanes;
+* :mod:`repro.obs.dashboard` — live sweep dashboard (ANSI TTY panel,
+  plain log lines otherwise) fed by the same monitor callbacks;
+* :mod:`repro.obs.causal` — per-transaction causal chains and phase
+  latency decomposition reconstructed from any trace;
+* :mod:`repro.obs.cli` — ``repro obs trace`` / ``summarize`` / ``diff``
+  / ``critical-path``.
 """
 
+from repro.obs.aggregate import (
+    AGGREGATE_SCHEMA,
+    PointTelemetry,
+    SweepAggregator,
+    merge_metrics_dict,
+)
+from repro.obs.causal import (
+    ChainSet,
+    TxnChain,
+    reconstruct,
+    verify_chain_sums,
+)
+from repro.obs.dashboard import SweepDashboard, SweepMonitor
 from repro.obs.export import (
     export_trace,
+    is_gzipped,
     read_chrome_trace,
     read_jsonl,
     read_trace,
@@ -45,6 +67,7 @@ from repro.obs.telemetry import (
     BENCH_SCHEMA,
     load_bench,
     peak_rss_bytes,
+    usable_cpus,
     write_bench,
 )
 from repro.obs.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
@@ -77,4 +100,16 @@ __all__ = [
     "write_bench",
     "load_bench",
     "peak_rss_bytes",
+    "usable_cpus",
+    "is_gzipped",
+    "AGGREGATE_SCHEMA",
+    "PointTelemetry",
+    "SweepAggregator",
+    "merge_metrics_dict",
+    "SweepMonitor",
+    "SweepDashboard",
+    "ChainSet",
+    "TxnChain",
+    "reconstruct",
+    "verify_chain_sums",
 ]

@@ -1,0 +1,227 @@
+"""Causal transaction analytics: reconstruct why a miss took that long.
+
+Every remote miss the machine traces carries a ``txn_id`` through all
+of its span args (``txn.read``/``txn.write``, ``net.msg``,
+``dir.service``, ``dir.inval_round``, ``cache.inval``, ``net.fault``,
+``txn.retry``), and the directory records an *exact* service-latency
+decomposition in the ``dir.service`` span's ``phases`` arg at execute
+time.  This module stitches those back together from any trace file:
+
+* ``net_request`` — issue to acceptance at the home (wire legs plus
+  fault retries and their backoff);
+* ``dir_queue`` — waiting at the home for the block to go un-busy and
+  for a controller issue slot (directory occupancy);
+* the directory's recorded service phases — ``sparse_recall``,
+  ``dir_lookup``, ``net_forward``, ``remote_cache``, ``memory``,
+  ``inval_fanout``, ``net_reply``.
+
+The phase values of a chain sum to the transaction's ``txn.*`` span
+duration by construction (guarded by ``tests/test_obs_causal.py``), so
+"Dir4CV4 is 1.3x slower on MP3D" decomposes into *which* phase paid —
+e.g. invalidation fanout, as §6.2 predicts for coarse vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.obs.metrics import Log2Histogram
+from repro.obs.tracer import TraceEvent
+
+#: canonical phase ordering for reports (request-to-grant chain order)
+PHASE_ORDER: Tuple[str, ...] = (
+    "net_request",
+    "dir_queue",
+    "sparse_recall",
+    "dir_lookup",
+    "net_forward",
+    "remote_cache",
+    "memory",
+    "inval_fanout",
+    "net_reply",
+)
+
+#: tolerance (cycles) for the phases-sum-to-latency identity
+RESIDUAL_TOLERANCE = 1e-6
+
+
+@dataclass
+class TxnChain:
+    """One reconstructed transaction: request -> ... -> grant."""
+
+    txn_id: int
+    kind: str  # "read" or "write"
+    block: int
+    requester: int
+    home: int
+    t_issue: float
+    latency: float
+    phases: Dict[str, float]
+    invals: int = 0  # invalidation messages this txn fanned out
+    cache_invals: int = 0  # cache copies it killed (any cluster)
+    retries: int = 0  # fault-layer reissues before acceptance
+    faults: int = 0  # fault-layer perturbations observed
+
+    @property
+    def residual(self) -> float:
+        """``latency - sum(phases)`` — ~0 for a complete chain."""
+        return self.latency - sum(self.phases.values())
+
+    def ordered_phases(self) -> List[Tuple[str, float]]:
+        """Phases in chain order (unknown names trail, sorted)."""
+        known = [(p, self.phases[p]) for p in PHASE_ORDER if p in self.phases]
+        extra = sorted(
+            (p, v) for p, v in self.phases.items() if p not in PHASE_ORDER
+        )
+        return known + extra
+
+
+@dataclass
+class ChainSet:
+    """Reconstruction result: complete chains plus bookkeeping."""
+
+    chains: List[TxnChain]
+    #: txn ids seen on some event but missing their txn.* or dir.service
+    #: span (usually ring-buffer drops in a wrapped trace)
+    incomplete: int = 0
+    #: txn.read/txn.write spans with no txn_id arg (pre-causal trace)
+    untagged: int = 0
+    histograms: Dict[str, Log2Histogram] = field(default_factory=dict)
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Total cycles per phase across all chains, chain order."""
+        totals: Dict[str, float] = {}
+        for chain in self.chains:
+            for phase, cycles in chain.phases.items():
+                totals[phase] = totals.get(phase, 0.0) + cycles
+        ordered = [(p, totals[p]) for p in PHASE_ORDER if p in totals]
+        ordered += sorted(
+            (p, v) for p, v in totals.items() if p not in PHASE_ORDER
+        )
+        return dict(ordered)
+
+    def top_slowest(self, k: int) -> List[TxnChain]:
+        """The ``k`` highest-latency chains, slowest first."""
+        return sorted(
+            self.chains, key=lambda c: (-c.latency, c.txn_id)
+        )[:max(0, k)]
+
+
+def _int_arg(args: Optional[Dict[str, object]], key: str) -> Optional[int]:
+    if not args:
+        return None
+    value = args.get(key)
+    return value if isinstance(value, int) else None
+
+
+#: correlation key: (grid-point index, txn_id).  Single-run traces have
+#: no "point" arg, so the first element is None there; merged sweep
+#: traces qualify every causal event with its point index because
+#: txn_ids restart at 1 in each point.
+_TxnKey = Tuple[Optional[int], int]
+
+
+def reconstruct(events: Iterable[TraceEvent]) -> ChainSet:
+    """Rebuild per-transaction causal chains from trace events.
+
+    Works on any trace (JSONL or Chrome, merged or single-run): events
+    are correlated by their ``txn_id`` args, scoped by the grid-point
+    index on merged sweep traces.  Transactions whose ``txn.*`` or
+    ``dir.service`` span fell out of the ring buffer are counted in
+    ``incomplete`` rather than reported half-built.
+    """
+    txn_spans: Dict[_TxnKey, TraceEvent] = {}
+    services: Dict[_TxnKey, TraceEvent] = {}
+    invals: Dict[_TxnKey, int] = {}
+    cache_invals: Dict[_TxnKey, int] = {}
+    retries: Dict[_TxnKey, int] = {}
+    faults: Dict[_TxnKey, int] = {}
+    seen: Set[_TxnKey] = set()
+    untagged = 0
+    for ev in events:
+        txn_id = _int_arg(ev.args, "txn_id")
+        key = (_int_arg(ev.args, "point"), txn_id or 0)
+        if ev.name in ("txn.read", "txn.write"):
+            if txn_id is None:
+                untagged += 1
+                continue
+            seen.add(key)
+            txn_spans[key] = ev
+        elif txn_id is None:
+            continue
+        elif ev.name == "dir.service":
+            seen.add(key)
+            services[key] = ev
+        elif ev.name == "dir.inval_round":
+            seen.add(key)
+            n = _int_arg(ev.args, "invals")
+            invals[key] = invals.get(key, 0) + (n or 0)
+        elif ev.name == "cache.inval":
+            seen.add(key)
+            cache_invals[key] = cache_invals.get(key, 0) + 1
+        elif ev.name == "txn.retry":
+            seen.add(key)
+            retries[key] = retries.get(key, 0) + 1
+        elif ev.name == "net.fault":
+            seen.add(key)
+            faults[key] = faults.get(key, 0) + 1
+
+    chains: List[TxnChain] = []
+    for key, span in txn_spans.items():
+        txn_id = key[1]
+        svc = services.get(key)
+        if svc is None or span.dur is None:
+            continue
+        svc_args = svc.args or {}
+        t_start = svc_args.get("t_start")
+        if not isinstance(t_start, (int, float)):
+            continue
+        phases: Dict[str, float] = {}
+        net_request = svc.ts - span.ts
+        if net_request:
+            phases["net_request"] = net_request
+        dir_queue = float(t_start) - svc.ts
+        if dir_queue:
+            phases["dir_queue"] = dir_queue
+        recorded = svc_args.get("phases")
+        if isinstance(recorded, dict):
+            for name, cycles in recorded.items():
+                if isinstance(cycles, (int, float)):
+                    phases[str(name)] = float(cycles)
+        chains.append(
+            TxnChain(
+                txn_id=txn_id,
+                kind="write" if span.name == "txn.write" else "read",
+                block=_int_arg(span.args, "block") or 0,
+                requester=_int_arg(span.args, "requester") or 0,
+                home=span.tid,
+                t_issue=span.ts,
+                latency=float(span.dur),
+                phases=phases,
+                invals=invals.get(key, 0),
+                cache_invals=cache_invals.get(key, 0),
+                retries=retries.get(key, 0),
+                faults=faults.get(key, 0),
+            )
+        )
+    chains.sort(key=lambda c: (c.t_issue, c.txn_id))
+    result = ChainSet(
+        chains=chains,
+        incomplete=len(seen) - len(chains),
+        untagged=untagged,
+    )
+    for chain in chains:
+        for phase, cycles in chain.phases.items():
+            hist = result.histograms.get(phase)
+            if hist is None:
+                hist = result.histograms[phase] = Log2Histogram()
+            hist.observe(cycles)
+    return result
+
+
+def verify_chain_sums(
+    chain_set: ChainSet, *, tolerance: float = RESIDUAL_TOLERANCE
+) -> List[TxnChain]:
+    """Chains whose phases do NOT sum to their span latency (bug scan)."""
+    return [c for c in chain_set.chains if abs(c.residual) > tolerance]

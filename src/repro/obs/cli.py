@@ -7,14 +7,19 @@ Subcommands::
         --metrics-out lu_metrics.json
     python -m repro.obs summarize mp3d.json [--strict]
     python -m repro.obs diff seed0_metrics.json seed1_metrics.json
+    python -m repro.obs critical-path mp3d.json --top 5
 
 ``trace`` runs one simulation with tracing enabled and writes the trace
 (Chrome ``trace_event`` JSON by default — load it at
-https://ui.perfetto.dev — or JSONL), plus the run's stats-with-metrics
-JSON when ``--metrics-out`` is given.  ``summarize`` tabulates any trace
-file; with ``--strict`` it also validates every event name against the
-registry and exits nonzero on violations.  ``diff`` compares two
-metrics JSON files (scalar counters and latency-histogram buckets).
+https://ui.perfetto.dev — or JSONL; add ``--gzip`` to compress), plus
+the run's stats-with-metrics JSON when ``--metrics-out`` is given.
+``summarize`` tabulates any trace file; with ``--strict`` it also
+validates every event name against the registry and exits nonzero on
+violations.  ``diff`` compares two metrics JSON files (scalar counters
+and latency-histogram buckets).  ``critical-path`` reconstructs the
+per-transaction causal chains (request -> directory service ->
+invalidation fan-out -> reply) from any trace and reports where the
+latency went.  Every reader sniffs and accepts gzipped files.
 """
 
 from __future__ import annotations
@@ -59,8 +64,14 @@ def cmd_trace(args: argparse.Namespace) -> int:
         "procs": args.procs,
         "seed": args.seed,
     }
+    out = args.out
+    if args.gzip and not out.endswith(".gz"):
+        out += ".gz"
     with prof.phase("export"):
-        path = export_trace(tracer, args.out, fmt=args.format, meta=meta)
+        path = export_trace(
+            tracer, out, fmt=args.format, meta=meta,
+            compress=True if args.gzip else None,
+        )
     print(f"{workload.name} on {args.procs} processors, scheme {args.scheme}")
     print(
         f"wrote {len(tracer):,} events to {path} "
@@ -128,8 +139,16 @@ def cmd_summarize(args: argparse.Namespace) -> int:
 
 
 def _load_metrics_file(path: str) -> Dict[str, object]:
-    """Read a stats-with-metrics JSON (as written by ``trace``)."""
-    with open(path) as fh:
+    """Read a stats-with-metrics JSON (as written by ``trace``).
+
+    Accepts gzipped files too (sniffed by magic, not suffix).
+    """
+    import gzip
+
+    from repro.obs.export import is_gzipped
+
+    opener = gzip.open(path, "rt") if is_gzipped(path) else open(path)
+    with opener as fh:
         data = json.load(fh)
     if not isinstance(data, dict):
         raise ValueError(f"{path}: expected a JSON object")
@@ -185,6 +204,23 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_critical_path(args: argparse.Namespace) -> int:
+    """Reconstruct causal transaction chains and report phase latency."""
+    from repro.analysis.report import format_critical_path
+    from repro.obs.causal import reconstruct
+
+    events = read_trace(args.trace)
+    if not events:
+        print(f"{args.trace}: no events", file=sys.stderr)
+        return 1
+    chain_set = reconstruct(events)
+    print(f"{args.trace}:")
+    print(format_critical_path(
+        chain_set, top=args.top, histograms=not args.no_histograms
+    ))
+    return 0 if chain_set.chains else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Argument parser for the ``trace`` / ``summarize`` / ``diff`` verbs."""
     parser = argparse.ArgumentParser(
@@ -212,6 +248,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trace ring-buffer capacity (older events drop)")
     p.add_argument("--max-events", type=int, default=None,
                    help="stop the simulation after this many events")
+    p.add_argument("--gzip", action="store_true",
+                   help="gzip the trace (appends .gz to --out if missing)")
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("summarize", help="tabulate a trace file")
@@ -224,6 +262,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("a", help="baseline metrics file")
     p.add_argument("b", help="comparison metrics file")
     p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser(
+        "critical-path",
+        help="per-transaction phase latency breakdown from a trace",
+    )
+    p.add_argument("trace", help="trace file (chrome or jsonl, .gz ok)")
+    p.add_argument("--top", type=int, default=5,
+                   help="how many slowest transactions to expand")
+    p.add_argument("--no-histograms", action="store_true",
+                   help="skip the per-phase latency histograms")
+    p.set_defaults(func=cmd_critical_path)
 
     return parser
 

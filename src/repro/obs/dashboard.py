@@ -1,0 +1,224 @@
+"""Live sweep dashboard: an ANSI TTY view of a running sweep.
+
+The sweep engine (``repro.analysis.sweeps.run_points``) and the
+supervisor drive a :class:`SweepMonitor` — a no-op observer base class —
+with point lifecycle callbacks.  :class:`SweepDashboard` implements it
+two ways, chosen by ``stream.isatty()``:
+
+* **TTY** — an in-place repainting panel (pure ANSI, stdlib only): a
+  headline with points done/cached/retried/quarantined, cache hit rate,
+  trace events/s and an ETA, plus one occupancy lane per worker process
+  showing which grid point it is simulating and for how long;
+* **non-TTY** (CI logs, pipes) — the same headline as a plain log line
+  every ``log_interval_s`` seconds, no escape codes.
+
+Wall clocks are fine here: the dashboard lives outside ``machine/`` and
+``core/``, the only packages the determinism lint rules fence off.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Dict, IO, List, Optional, Tuple
+
+from repro.obs.aggregate import PointTelemetry
+
+
+class SweepMonitor:
+    """Observer interface for sweep progress; every method is a no-op.
+
+    Subclass and override what you need — the engine calls these from
+    the parent process only (workers never see the monitor).
+    """
+
+    def begin(self, *, total: int, jobs: int) -> None:
+        """The sweep is starting: ``total`` grid points, ``jobs`` workers."""
+
+    def point_cached(self, index: int, label: str) -> None:
+        """A point was served from the result cache (no simulation)."""
+
+    def point_started(self, index: int, label: str, worker: int) -> None:
+        """A worker process (OS pid ``worker``) began simulating a point."""
+
+    def point_done(self, index: int, label: str, wall_s: float) -> None:
+        """A point completed after ``wall_s`` seconds of simulation."""
+
+    def point_retry(self, index: int, label: str, kind: str) -> None:
+        """A point attempt is being retried (worker death/timeout/error)."""
+
+    def point_quarantined(self, index: int, label: str) -> None:
+        """A point exhausted its retries and was quarantined."""
+
+    def telemetry(self, point: PointTelemetry) -> None:
+        """A completed point's telemetry arrived (aggregation enabled)."""
+
+    def tick(self) -> None:
+        """Periodic heartbeat from the engine's wait loop."""
+
+    def finish(self) -> None:
+        """The sweep ended (success, failure, or interrupt)."""
+
+
+def _fmt_count(n: float) -> str:
+    """Compact human count: 950, 12.3k, 4.6M."""
+    if n >= 1e6:
+        return f"{n / 1e6:.1f}M"
+    if n >= 1e3:
+        return f"{n / 1e3:.1f}k"
+    return f"{n:.0f}"
+
+
+def _fmt_eta(seconds: float) -> str:
+    """``m:ss`` / ``h:mm:ss`` remaining-time format."""
+    s = max(0, int(seconds))
+    if s >= 3600:
+        return f"{s // 3600}:{s % 3600 // 60:02d}:{s % 60:02d}"
+    return f"{s // 60}:{s % 60:02d}"
+
+
+class SweepDashboard(SweepMonitor):
+    """Render sweep progress to a terminal (or degrade to log lines)."""
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        *,
+        refresh_s: float = 0.25,
+        log_interval_s: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._stream: IO[str] = stream if stream is not None else sys.stdout
+        self._tty = bool(getattr(self._stream, "isatty", lambda: False)())
+        self._refresh_s = refresh_s
+        self._log_interval_s = log_interval_s
+        self._clock = clock
+        self._t0 = clock()
+        self._last_paint = 0.0
+        self._painted_lines = 0
+        self.total = 0
+        self.jobs = 1
+        self.done = 0
+        self.cached = 0
+        self.retried = 0
+        self.quarantined = 0
+        self.events = 0
+        self._wall_total = 0.0
+        #: worker pid -> (index, label, started-at) or None when idle
+        self._lanes: Dict[int, Optional[Tuple[int, str, float]]] = {}
+
+    # -- SweepMonitor callbacks --------------------------------------------
+
+    def begin(self, *, total: int, jobs: int) -> None:
+        self.total = total
+        self.jobs = jobs
+        self._t0 = self._clock()
+        self._paint(force=True)
+
+    def point_cached(self, index: int, label: str) -> None:
+        self.cached += 1
+        self._paint()
+
+    def point_started(self, index: int, label: str, worker: int) -> None:
+        self._lanes[worker] = (index, label, self._clock())
+        self._paint()
+
+    def point_done(self, index: int, label: str, wall_s: float) -> None:
+        self.done += 1
+        self._wall_total += wall_s
+        for worker, lane in self._lanes.items():
+            if lane is not None and lane[0] == index:
+                self._lanes[worker] = None
+        self._paint()
+
+    def point_retry(self, index: int, label: str, kind: str) -> None:
+        self.retried += 1
+        for worker, lane in self._lanes.items():
+            if lane is not None and lane[0] == index:
+                self._lanes[worker] = None
+        self._paint()
+
+    def point_quarantined(self, index: int, label: str) -> None:
+        self.quarantined += 1
+        self._paint()
+
+    def telemetry(self, point: PointTelemetry) -> None:
+        self.events += point.emitted
+
+    def tick(self) -> None:
+        self._paint()
+
+    def finish(self) -> None:
+        self._paint(force=True, final=True)
+
+    # -- rendering ----------------------------------------------------------
+
+    def _eta_s(self) -> Optional[float]:
+        finished = self.done + self.cached
+        remaining = self.total - finished - self.quarantined
+        if remaining <= 0 or self.done == 0:
+            return None
+        avg = self._wall_total / self.done
+        active = sum(1 for lane in self._lanes.values() if lane is not None)
+        width = max(1, active or min(self.jobs, remaining))
+        return remaining * avg / width
+
+    def headline(self) -> str:
+        """The one-line sweep status (both render modes)."""
+        finished = self.done + self.cached
+        parts = [f"sweep {finished}/{self.total}"]
+        if self.cached:
+            rate = 100.0 * self.cached / max(1, self.total)
+            parts.append(f"{self.cached} cached ({rate:.0f}%)")
+        if self.retried:
+            parts.append(f"{self.retried} retried")
+        if self.quarantined:
+            parts.append(f"{self.quarantined} quarantined")
+        elapsed = max(1e-9, self._clock() - self._t0)
+        if self.events:
+            parts.append(f"{_fmt_count(self.events / elapsed)} ev/s")
+        eta = self._eta_s()
+        if eta is not None:
+            parts.append(f"eta {_fmt_eta(eta)}")
+        return " · ".join(parts)
+
+    def _lane_lines(self) -> List[str]:
+        now = self._clock()
+        lines = []
+        for worker in sorted(self._lanes):
+            lane = self._lanes[worker]
+            if lane is None:
+                lines.append(f"  w {worker}  idle")
+            else:
+                index, label, since = lane
+                desc = label or f"point {index}"
+                lines.append(
+                    f"  w {worker}  #{index} {desc} ({now - since:.1f}s)"
+                )
+        return lines
+
+    def _paint(self, *, force: bool = False, final: bool = False) -> None:
+        now = self._clock()
+        if self._tty:
+            if not force and now - self._last_paint < self._refresh_s:
+                return
+            self._last_paint = now
+            lines = [self.headline()] + self._lane_lines()
+            out = ""
+            if self._painted_lines:
+                out += f"\x1b[{self._painted_lines}F"  # back to first line
+            out += "".join(f"\x1b[2K{line}\n" for line in lines)
+            # a shrinking panel must blank the rows it no longer uses
+            extra = self._painted_lines - len(lines)
+            if extra > 0:
+                out += "\x1b[2K\n" * extra + f"\x1b[{extra}F"
+            self._stream.write(out)
+            self._stream.flush()
+            self._painted_lines = len(lines)
+            return
+        interval = 0.0 if final else self._log_interval_s
+        if not force and now - self._last_paint < interval:
+            return
+        self._last_paint = now
+        self._stream.write(f"[sweep] {self.headline()}\n")
+        self._stream.flush()

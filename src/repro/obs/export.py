@@ -16,32 +16,89 @@ Two interchangeable on-disk forms, both schema-versioned:
 Both loaders reject files whose declared schema is newer than this
 build, and both round-trip through :class:`TraceEvent` (guarded by
 ``tests/test_obs_export.py``).
+
+Either form may be gzip-compressed (``--gzip`` on ``repro obs trace``,
+or any path ending in ``.gz``): every loader sniffs the two-byte gzip
+magic and decompresses transparently, so ``repro obs summarize`` /
+``diff`` / ``critical-path`` and ``repro verify conform`` accept
+``trace.jsonl.gz`` exactly like ``trace.jsonl``.
 """
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 from pathlib import Path
-from typing import Dict, Iterable, List, Union
+from typing import Dict, IO, Iterable, List, Union
 
 from repro.obs.registry import TRACE_SCHEMA
-from repro.obs.tracer import COUNTER, INSTANT, SPAN, TraceEvent, Tracer
+from repro.obs.tracer import BEGIN, COUNTER, END, INSTANT, SPAN, TraceEvent, Tracer
 
 PathLike = Union[str, Path]
 
 #: marker distinguishing our JSONL header from an event line
 _JSONL_KIND = "repro-trace"
 
+#: the two magic bytes opening every gzip stream (RFC 1952)
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def is_gzipped(path: PathLike) -> bool:
+    """True when the file starts with the gzip magic bytes."""
+    with open(path, "rb") as fh:
+        return fh.read(2) == _GZIP_MAGIC
+
+
+def _open_read(path: Path) -> IO[str]:
+    """Open a trace file for text reading, decompressing if gzipped."""
+    if is_gzipped(path):
+        return gzip.open(path, "rt")
+    return open(path)
+
+
+class _DeterministicGzipFile(gzip.GzipFile):
+    """GzipFile whose header is content-only: no mtime, no filename.
+
+    Plain ``gzip.open`` embeds both, so the same trace written twice
+    (or under two names) would differ byte-for-byte — breaking cache
+    keys and artifact diffs over compressed traces.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self._raw = open(path, "wb")
+        super().__init__(filename="", mode="wb", fileobj=self._raw, mtime=0)
+
+    def close(self) -> None:
+        try:
+            super().close()
+        finally:
+            self._raw.close()
+
+
+def _open_write(path: Path, compress: bool) -> IO[str]:
+    """Open a trace file for text writing, gzip-compressing on request."""
+    if compress:
+        return io.TextIOWrapper(_DeterministicGzipFile(path),
+                                encoding="utf-8")
+    return open(path, "w")
+
+
+def _wants_gzip(path: Path, compress: Union[bool, None]) -> bool:
+    """Resolve the compress flag: explicit wins, else the .gz suffix."""
+    return compress if compress is not None else path.suffix == ".gz"
+
 
 # -- JSONL -------------------------------------------------------------------
 
 
 def write_jsonl(
-    events: Iterable[TraceEvent], path: PathLike, *, meta: Dict[str, object] = {}
+    events: Iterable[TraceEvent], path: PathLike, *,
+    meta: Dict[str, object] = {}, compress: Union[bool, None] = None,
 ) -> Path:
-    """Write a JSONL trace file; returns the path written."""
+    """Write a JSONL trace file (gzipped on request); returns the path."""
     path = Path(path)
-    with open(path, "w") as fh:
+    with _open_write(path, _wants_gzip(path, compress)) as fh:
         header: Dict[str, object] = {
             "schema": TRACE_SCHEMA,
             "kind": _JSONL_KIND,
@@ -57,7 +114,7 @@ def read_jsonl(path: PathLike) -> List[TraceEvent]:
     """Load a JSONL trace; validates the header schema."""
     path = Path(path)
     events: List[TraceEvent] = []
-    with open(path) as fh:
+    with _open_read(path) as fh:
         first = fh.readline()
         if not first.strip():
             raise ValueError(f"{path}: empty trace file")
@@ -89,7 +146,7 @@ def read_jsonl(path: PathLike) -> List[TraceEvent]:
 
 # -- Chrome trace_event ------------------------------------------------------
 
-_PHASE_OF_KIND = {SPAN: "X", INSTANT: "i", COUNTER: "C"}
+_PHASE_OF_KIND = {SPAN: "X", INSTANT: "i", COUNTER: "C", BEGIN: "B", END: "E"}
 _KIND_OF_PHASE = {ph: kind for kind, ph in _PHASE_OF_KIND.items()}
 
 
@@ -134,11 +191,12 @@ def to_chrome_trace(
 
 
 def write_chrome_trace(
-    events: Iterable[TraceEvent], path: PathLike, *, meta: Dict[str, object] = {}
+    events: Iterable[TraceEvent], path: PathLike, *,
+    meta: Dict[str, object] = {}, compress: Union[bool, None] = None,
 ) -> Path:
     """Write a Perfetto-loadable Chrome trace JSON; returns the path."""
     path = Path(path)
-    with open(path, "w") as fh:
+    with _open_write(path, _wants_gzip(path, compress)) as fh:
         json.dump(to_chrome_trace(events, meta=meta), fh, indent=1)
         fh.write("\n")
     return path
@@ -152,7 +210,7 @@ def read_chrome_trace(path: PathLike) -> List[TraceEvent]:
     silently read as empty.
     """
     path = Path(path)
-    with open(path) as fh:
+    with _open_read(path) as fh:
         data = json.load(fh)
     if not isinstance(data, dict) or "traceEvents" not in data:
         raise ValueError(f"{path}: not a Chrome trace_event JSON object")
@@ -199,14 +257,14 @@ def _check_schema(schema: object, path: Path) -> None:
 
 
 def read_trace(path: PathLike) -> List[TraceEvent]:
-    """Load a trace in either format (sniffs the first byte)."""
+    """Load a trace in either format, gzipped or plain (sniffs bytes)."""
     path = Path(path)
-    with open(path) as fh:
+    with _open_read(path) as fh:
         head = fh.read(1)
     if head == "{":
         # Both formats start with "{".  A JSONL header fits on line one;
         # a (possibly pretty-printed) Chrome object usually does not.
-        with open(path) as fh:
+        with _open_read(path) as fh:
             line = fh.readline()
         try:
             first = json.loads(line)
@@ -220,12 +278,14 @@ def read_trace(path: PathLike) -> List[TraceEvent]:
 
 def export_trace(
     tracer: Tracer, path: PathLike, *, fmt: str = "chrome",
-    meta: Dict[str, object] = {},
+    meta: Dict[str, object] = {}, compress: Union[bool, None] = None,
 ) -> Path:
     """Write a tracer's retained events in ``fmt`` (chrome or jsonl)."""
     merged = {"dropped": tracer.dropped, **meta}
     if fmt == "chrome":
-        return write_chrome_trace(tracer.events(), path, meta=merged)
+        return write_chrome_trace(
+            tracer.events(), path, meta=merged, compress=compress
+        )
     if fmt == "jsonl":
-        return write_jsonl(tracer.events(), path, meta=merged)
+        return write_jsonl(tracer.events(), path, meta=merged, compress=compress)
     raise ValueError(f"unknown trace format {fmt!r} (use 'chrome' or 'jsonl')")

@@ -57,6 +57,8 @@ EVENTS: Dict[str, str] = {
     "sweep.point": "one sweep grid point completed: simulated or cache-loaded (span)",
     "sweep.retry": "sweep point attempt rescheduled after a worker death, "
                    "timeout, or injected failure (instant)",
+    "sweep.worker": "one worker process's telemetry lane opened in a merged "
+                    "sweep trace (instant)",
 }
 
 #: metric instrument name -> one-line description (the metrics glossary)

@@ -43,13 +43,32 @@ def peak_rss_bytes() -> int:
     return peak if sys.platform == "darwin" else peak * 1024
 
 
+def usable_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the host's cores, which overstates usable
+    parallelism inside cgroup/affinity-limited containers (CI runners);
+    the scheduler affinity mask is the honest number where available.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # non-Linux platforms
+        return os.cpu_count() or 1
+
+
 def host_info() -> Dict[str, object]:
-    """Machine facts that contextualize wall-clock numbers."""
+    """Machine facts that contextualize wall-clock numbers.
+
+    ``cpus`` is the host's core count; ``cpus_usable`` is the
+    affinity-masked count this process can schedule on — the figure that
+    actually bounds sweep parallelism in containerized CI.
+    """
     return {
         "platform": platform.platform(),
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
         "cpus": os.cpu_count() or 1,
+        "cpus_usable": usable_cpus(),
     }
 
 

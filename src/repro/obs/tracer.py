@@ -35,6 +35,8 @@ from repro.obs.registry import EVENTS
 SPAN = "span"  # has a duration (ph "X")
 INSTANT = "instant"  # a point in time (ph "i")
 COUNTER = "counter"  # a sampled value series (ph "C")
+BEGIN = "begin"  # open half of a split span (ph "B") — must be paired
+END = "end"  # close half of a split span (ph "E")
 
 
 @dataclass(frozen=True)

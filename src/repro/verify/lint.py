@@ -55,6 +55,13 @@ Rules (see ``docs/verification.md`` for the full rationale):
     both ``obs/registry.py`` and the ``machine/`` layer, else a partial
     run could not see the increment sites and everything would look
     dead.
+``span-leak``
+    A split span opened in ``machine/`` (``.emit(..., kind=BEGIN)``)
+    must have a matching close (``kind=END`` with the same literal event
+    name) somewhere in the same module — an unclosed ``"B"`` record
+    renders as a span running to the end of time in Perfetto and skews
+    every duration aggregate built from the trace.  Complete-span
+    emits (``kind=SPAN`` / a ``dur=``) are exempt: they cannot leak.
 
 Suppressions are **line-targeted**: ``# lint: ignore[rule-name]`` (or a
 bare ``# lint: ignore`` for all rules) silences findings anchored to the
@@ -87,6 +94,8 @@ LINT_RULES: Dict[str, str] = {
     "obs/registry.py",
     "dead-metric": "metrics declared in obs/registry.py must be "
     "incremented somewhere (tree-wide runs only)",
+    "span-leak": "a split span opened (kind=BEGIN) in machine/ needs a "
+    "same-module kind=END close with the same name",
 }
 
 #: enums whose dispatch must be exhaustive, with their member names
@@ -679,6 +688,63 @@ def _check_undeclared_obs_name(
                 )
 
 
+# -- rule: span-leak ---------------------------------------------------------
+
+
+def _split_span_half(node: ast.Call) -> Optional[str]:
+    """``"begin"``/``"end"`` when the emit opens/closes a split span.
+
+    Recognizes the tracer constants by name (``kind=BEGIN``, a
+    ``tracer.END`` attribute, an import alias ending in BEGIN/END) and
+    the raw string forms ``kind="begin"`` / ``kind="end"``.
+    """
+    for kw in node.keywords:
+        if kw.arg != "kind":
+            continue
+        value = kw.value
+        if isinstance(value, ast.Constant) and value.value in ("begin", "end"):
+            return str(value.value)
+        if isinstance(value, ast.Name) and value.id in ("BEGIN", "END"):
+            return value.id.lower()
+        if isinstance(value, ast.Attribute) and value.attr in ("BEGIN", "END"):
+            return value.attr.lower()
+    return None
+
+
+def _check_span_leak(module: _Module) -> Iterator[Finding]:
+    """Unpaired ``kind=BEGIN`` emits in the instrumented machine layer."""
+    if "machine" not in Path(module.rel).parts:
+        return
+    begins: List[Tuple[str, int, int]] = []
+    ends: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if (
+            not isinstance(node, ast.Call)
+            or not isinstance(node.func, ast.Attribute)
+            or node.func.attr not in _EMIT_METHODS
+        ):
+            continue
+        name = _literal_first_arg(node)
+        if name is None:
+            continue
+        half = _split_span_half(node)
+        if half == "begin":
+            begins.append((name, node.lineno, node.col_offset))
+        elif half == "end":
+            ends.add(name)
+    for name, lineno, col in begins:
+        if name in ends or _suppressed(module, lineno, "span-leak"):
+            continue
+        yield Finding(
+            str(module.path),
+            lineno,
+            col,
+            "span-leak",
+            f"split span {name!r} is opened with kind=BEGIN but this "
+            f"module never emits a matching kind=END close",
+        )
+
+
 # -- rule: dead-metric -------------------------------------------------------
 
 
@@ -823,6 +889,7 @@ def run_lint(paths: Iterable[str]) -> List[Finding]:
                 findings.append(finding)
         findings.extend(_check_nondeterminism(module))
         findings.extend(_check_unordered_iteration(module))
+        findings.extend(_check_span_leak(module))
         if declared is not None:
             findings.extend(_check_undeclared_stat(module, declared))
         if obs_names is not None:

@@ -1,0 +1,240 @@
+"""Sweep dashboard: TTY repaint vs. plain-log fallback, ETA math."""
+
+import io
+
+from repro.analysis.sweeps import PointSpec, run_points
+from repro.apps import UniformRandomWorkload
+from repro.machine.config import MachineConfig
+from repro.obs.dashboard import SweepDashboard, SweepMonitor, _fmt_count, _fmt_eta
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, s):
+        self.now += s
+
+
+class TtyStream(io.StringIO):
+    def isatty(self):
+        return True
+
+
+def _dashboard(stream, **kw):
+    clock = FakeClock()
+    dash = SweepDashboard(stream, clock=clock, **kw)
+    return dash, clock
+
+
+class TestFormatting:
+    def test_fmt_count(self):
+        assert _fmt_count(950) == "950"
+        assert _fmt_count(12_300) == "12.3k"
+        assert _fmt_count(4_600_000) == "4.6M"
+
+    def test_fmt_eta(self):
+        assert _fmt_eta(0) == "0:00"
+        assert _fmt_eta(75) == "1:15"
+        assert _fmt_eta(3723) == "1:02:03"
+        assert _fmt_eta(-5) == "0:00"  # clamped, never negative
+
+
+class TestHeadline:
+    def test_quiet_sweep_is_just_progress(self):
+        dash, _ = _dashboard(io.StringIO())
+        dash.begin(total=8, jobs=2)
+        assert dash.headline() == "sweep 0/8"
+
+    def test_busy_sweep_reports_everything(self):
+        dash, clock = _dashboard(io.StringIO())
+        dash.begin(total=8, jobs=2)
+        dash.point_cached(0, "a")
+        dash.point_cached(1, "b")
+        dash.point_done(2, "c", wall_s=2.0)
+        dash.point_retry(3, "d", "timeout")
+        dash.point_quarantined(3, "d")
+        dash.events = 5000
+        clock.advance(10.0)
+        line = dash.headline()
+        assert line.startswith("sweep 3/8")
+        assert "2 cached (25%)" in line
+        assert "1 retried" in line
+        assert "1 quarantined" in line
+        assert "500 ev/s" in line
+        assert "eta" in line
+
+    def test_eta_uses_average_wall_over_active_lanes(self):
+        dash, _ = _dashboard(io.StringIO())
+        dash.begin(total=6, jobs=2)
+        dash.point_started(0, "a", worker=11)
+        dash.point_started(1, "b", worker=22)
+        dash.point_done(0, "a", wall_s=4.0)
+        dash.point_done(1, "b", wall_s=2.0)
+        dash.point_started(2, "c", worker=11)
+        dash.point_started(3, "d", worker=22)
+        # 4 remaining, 3 s average, 2 active lanes -> 6 s
+        assert dash._eta_s() == 6.0
+
+    def test_no_eta_before_first_completion(self):
+        dash, _ = _dashboard(io.StringIO())
+        dash.begin(total=4, jobs=2)
+        dash.point_cached(0, "a")
+        assert dash._eta_s() is None
+
+
+class TestNonTty:
+    def test_plain_lines_no_escape_codes(self):
+        stream = io.StringIO()
+        dash, clock = _dashboard(stream)
+        dash.begin(total=2, jobs=1)
+        dash.point_done(0, "a", wall_s=1.0)
+        clock.advance(10.0)  # past log_interval_s
+        dash.tick()
+        dash.finish()
+        out = stream.getvalue()
+        assert "\x1b" not in out
+        for line in out.splitlines():
+            assert line.startswith("[sweep] sweep ")
+
+    def test_log_lines_are_rate_limited(self):
+        stream = io.StringIO()
+        dash, clock = _dashboard(stream, log_interval_s=5.0)
+        dash.begin(total=100, jobs=1)
+        for i in range(50):
+            dash.point_done(i, "", wall_s=0.1)
+            clock.advance(0.01)
+        # begin() forced one line; the 50 rapid completions are coalesced
+        assert stream.getvalue().count("\n") == 1
+        clock.advance(5.0)
+        dash.tick()
+        assert stream.getvalue().count("\n") == 2
+
+    def test_finish_always_logs_a_final_line(self):
+        stream = io.StringIO()
+        dash, _ = _dashboard(stream)
+        dash.begin(total=1, jobs=1)
+        dash.point_done(0, "a", wall_s=0.1)  # within interval: suppressed
+        dash.finish()
+        assert stream.getvalue().splitlines()[-1].startswith("[sweep] sweep 1/1")
+
+
+class TestTty:
+    def test_repaints_in_place_with_worker_lanes(self):
+        stream = TtyStream()
+        dash, clock = _dashboard(stream)
+        dash.begin(total=2, jobs=2)
+        clock.advance(1.0)
+        dash.point_started(0, "scheme=full", worker=41)
+        clock.advance(1.0)
+        dash.point_done(0, "scheme=full", wall_s=1.0)
+        dash.finish()
+        out = stream.getvalue()
+        assert "\x1b[2K" in out  # erase-line repaint
+        assert "\x1b[2F" in out  # cursor moved back up over the panel
+        assert "w 41" in out
+        assert "scheme=full" in out
+        assert "idle" in out  # lane cleared after the point finished
+
+    def test_refresh_rate_limits_repaints(self):
+        stream = TtyStream()
+        dash, clock = _dashboard(stream, refresh_s=0.25)
+        dash.begin(total=100, jobs=1)
+        first = stream.getvalue()
+        for i in range(10):  # all within one refresh window
+            dash.point_done(i, "", wall_s=0.01)
+        assert stream.getvalue() == first
+        clock.advance(1.0)
+        dash.tick()
+        assert len(stream.getvalue()) > len(first)
+
+    def test_shrinking_panel_blanks_stale_rows(self):
+        stream = TtyStream()
+        dash, clock = _dashboard(stream)
+        dash.begin(total=2, jobs=2)
+        dash.point_started(0, "a", worker=1)
+        clock.advance(1.0)
+        dash.tick()
+        assert dash._painted_lines == 2  # headline + one lane
+        dash._lanes.clear()
+        clock.advance(1.0)
+        dash.tick()
+        assert dash._painted_lines == 1
+        assert "\x1b[1F" in stream.getvalue()  # stale row blanked + rewound
+
+
+class TestMonitorBase:
+    def test_base_monitor_is_inert(self):
+        m = SweepMonitor()
+        m.begin(total=1, jobs=1)
+        m.point_cached(0, "")
+        m.point_started(0, "", 1)
+        m.point_done(0, "", 0.0)
+        m.point_retry(0, "", "error")
+        m.point_quarantined(0, "")
+        m.tick()
+        m.finish()  # no state, no output, no exceptions
+
+
+class RecordingMonitor(SweepMonitor):
+    def __init__(self):
+        self.calls = []
+
+    def begin(self, *, total, jobs):
+        self.calls.append(("begin", total, jobs))
+
+    def point_cached(self, index, label):
+        self.calls.append(("cached", index))
+
+    def point_started(self, index, label, worker):
+        self.calls.append(("started", index))
+
+    def point_done(self, index, label, wall_s):
+        self.calls.append(("done", index))
+
+    def finish(self):
+        self.calls.append(("finish",))
+
+
+class TestEngineIntegration:
+    def _specs(self):
+        base = MachineConfig(num_clusters=4)
+        factory = lambda: UniformRandomWorkload(4, refs_per_proc=30,
+                                                heap_blocks=16)  # noqa: E731
+        return [
+            PointSpec(config=base.with_(scheme=s), workload_factory=factory,
+                      label=f"scheme={s}")
+            for s in ("full", "Dir2B")
+        ]
+
+    def test_monitor_sees_the_whole_lifecycle_serial(self):
+        mon = RecordingMonitor()
+        run_points(self._specs(), monitor=mon)
+        kinds = [c[0] for c in mon.calls]
+        assert kinds[0] == "begin"
+        assert kinds[-1] == "finish"
+        assert kinds.count("started") == 2
+        assert kinds.count("done") == 2
+
+    def test_monitor_sees_the_whole_lifecycle_parallel(self):
+        mon = RecordingMonitor()
+        run_points(self._specs(), jobs=2, monitor=mon)
+        kinds = [c[0] for c in mon.calls]
+        assert ("begin", 2, 2) == mon.calls[0]
+        assert kinds[-1] == "finish"
+        assert kinds.count("done") == 2
+
+    def test_monitor_sees_cache_hits(self, tmp_path):
+        from repro.analysis.cache import ResultCache
+
+        specs = self._specs()
+        cache = ResultCache(tmp_path)
+        run_points(specs, cache=cache)
+        mon = RecordingMonitor()
+        run_points(specs, cache=cache, monitor=mon)
+        kinds = [c[0] for c in mon.calls]
+        assert kinds.count("cached") == 2
+        assert kinds.count("started") == 0

@@ -158,3 +158,75 @@ class TestExportTrace:
     def test_unknown_format_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="unknown trace format"):
             export_trace(self._tracer(), tmp_path / "t.bin", fmt="bin")
+
+
+class TestGzip:
+    """Every writer compresses on request; every reader sniffs the magic."""
+
+    def test_jsonl_gz_suffix_roundtrip(self, tmp_path):
+        from repro.obs.export import is_gzipped
+
+        path = write_jsonl(sample_events(), tmp_path / "t.jsonl.gz")
+        assert is_gzipped(path)  # suffix alone triggered compression
+        assert read_jsonl(path) == sample_events()
+        assert read_trace(path) == sample_events()
+
+    def test_chrome_gz_suffix_roundtrip(self, tmp_path):
+        from repro.obs.export import is_gzipped
+
+        path = write_chrome_trace(sample_events(), tmp_path / "t.json.gz")
+        assert is_gzipped(path)
+        assert read_chrome_trace(path) == sample_events()
+        assert read_trace(path) == sample_events()
+
+    def test_explicit_compress_beats_the_suffix(self, tmp_path):
+        from repro.obs.export import is_gzipped
+
+        plain = write_jsonl(sample_events(), tmp_path / "a.jsonl",
+                            compress=True)
+        assert is_gzipped(plain)  # no .gz suffix, still compressed
+        forced = write_jsonl(sample_events(), tmp_path / "b.jsonl.gz",
+                             compress=False)
+        assert not is_gzipped(forced)  # .gz suffix, explicitly plain
+        assert read_trace(plain) == read_trace(forced)
+
+    def test_compressed_output_is_deterministic(self, tmp_path):
+        a = write_jsonl(sample_events(), tmp_path / "a.jsonl.gz")
+        b = write_jsonl(sample_events(), tmp_path / "b.jsonl.gz")
+        assert a.read_bytes() == b.read_bytes()  # mtime pinned to 0
+
+    def test_is_gzipped_on_short_file(self, tmp_path):
+        from repro.obs.export import is_gzipped
+
+        path = tmp_path / "tiny"
+        path.write_bytes(b"{")
+        assert not is_gzipped(path)
+
+
+class TestSplitSpans:
+    """kind=BEGIN/END events map to Chrome ph B/E and round-trip."""
+
+    def _events(self):
+        return [
+            TraceEvent("dir.service", 5.0, kind="begin", comp="directory",
+                       tid=2, args={"txn_id": 1}),
+            TraceEvent("dir.service", 25.0, kind="end", comp="directory",
+                       tid=2, args={"txn_id": 1}),
+        ]
+
+    def test_chrome_phases(self):
+        doc = to_chrome_trace(self._events())
+        phases = [r["ph"] for r in doc["traceEvents"] if r["ph"] != "M"]
+        assert phases == ["B", "E"]
+        for r in doc["traceEvents"]:
+            assert "dur" not in r  # split halves carry no duration
+
+    def test_chrome_roundtrip(self, tmp_path):
+        path = write_chrome_trace(self._events(), tmp_path / "t.json")
+        back = read_chrome_trace(path)
+        assert back == self._events()
+        assert all(ev.dur is None for ev in back)
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = write_jsonl(self._events(), tmp_path / "t.jsonl")
+        assert read_jsonl(path) == self._events()

@@ -79,3 +79,31 @@ class TestWriteAndLoad:
     def test_creates_root_directory(self, tmp_path):
         path = write_bench("x", {}, root=tmp_path / "deep" / "er")
         assert path.exists()
+
+
+class TestUsableCpus:
+    def test_at_least_one_and_bounded_by_host(self):
+        import os
+
+        from repro.obs.telemetry import usable_cpus
+
+        n = usable_cpus()
+        assert 1 <= n <= (os.cpu_count() or 1)
+
+    def test_respects_the_affinity_mask(self):
+        import os
+
+        from repro.obs.telemetry import usable_cpus
+
+        if not hasattr(os, "sched_getaffinity"):
+            import pytest
+
+            pytest.skip("platform has no scheduler affinity mask")
+        assert usable_cpus() == len(os.sched_getaffinity(0))
+
+    def test_host_info_reports_both_counts(self):
+        from repro.obs.telemetry import host_info, usable_cpus
+
+        info = host_info()
+        assert info["cpus_usable"] == usable_cpus()
+        assert info["cpus_usable"] <= info["cpus"]

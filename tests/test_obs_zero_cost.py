@@ -58,3 +58,32 @@ class TestZeroCost:
 
     def test_traced_run_same_simulated_time(self):
         assert _run().stats.exec_time == _run(obs=Tracer()).stats.exec_time
+
+
+class TestCausalTagging:
+    """txn_id allocation is obs-gated; traced spans carry the causal args."""
+
+    def test_untraced_run_never_allocates_txn_ids(self):
+        assert _run()._txn_seq == 0
+
+    def test_traced_run_tags_every_transaction_span(self):
+        tracer = Tracer()
+        system = _run(obs=tracer)
+        spans = [ev for ev in tracer.events()
+                 if ev.name in ("txn.read", "txn.write")]
+        assert spans
+        assert all(
+            isinstance((ev.args or {}).get("txn_id"), int) for ev in spans
+        )
+        assert system._txn_seq >= len(spans)
+
+    def test_directory_services_record_phase_breakdowns(self):
+        tracer = Tracer()
+        _run(obs=tracer)
+        services = [ev for ev in tracer.events() if ev.name == "dir.service"]
+        assert services
+        for ev in services:
+            args = ev.args or {}
+            assert isinstance(args.get("txn_id"), int)
+            assert isinstance(args.get("t_start"), (int, float))
+            assert isinstance(args.get("phases"), dict)

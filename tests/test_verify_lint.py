@@ -549,8 +549,106 @@ def test_every_rule_has_a_catalog_entry():
         "undeclared-stat",
         "undeclared-obs-name",
         "dead-metric",
+        "span-leak",
     }
 
 
 def test_shipped_tree_is_clean():
     assert run_lint([str(REPO_SRC)]) == []
+
+
+# -- span-leak ---------------------------------------------------------------
+
+
+def test_begin_without_end_is_flagged(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/directory.py": (
+            "def service(self, obs):\n"
+            "    obs.emit('dir.service', ts=1.0, kind='begin')\n"
+        ),
+    })
+    assert _rules(findings) == ["span-leak"]
+    assert "dir.service" in findings[0].message
+
+
+def test_begin_with_matching_end_is_clean(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/directory.py": (
+            "def service(self, obs):\n"
+            "    obs.emit('dir.service', ts=1.0, kind='begin')\n"
+            "    obs.emit('dir.service', ts=9.0, kind='end')\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_end_may_live_in_another_function_of_the_module(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/directory.py": (
+            "def start(self, obs):\n"
+            "    obs.emit('dir.service', ts=1.0, kind='begin')\n"
+            "\n"
+            "def finish(self, obs):\n"
+            "    obs.emit('dir.service', ts=9.0, kind='end')\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_mismatched_span_names_are_flagged(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/network.py": (
+            "def f(obs):\n"
+            "    obs.emit('net.msg', ts=1.0, kind='begin')\n"
+            "    obs.emit('net.fault', ts=2.0, kind='end')\n"
+        ),
+    })
+    assert _rules(findings) == ["span-leak"]
+    assert "net.msg" in findings[0].message
+
+
+def test_kind_constant_name_forms_are_understood(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/cache.py": (
+            "from repro.obs.tracer import BEGIN, END\n"
+            "import repro.obs.tracer as tracer\n"
+            "def f(obs):\n"
+            "    obs.emit('cache.inval', ts=1.0, kind=BEGIN)\n"
+            "    obs.emit('cache.inval', ts=2.0, kind=tracer.END)\n"
+            "    obs.emit('wb.issue', ts=3.0, kind=BEGIN)\n"
+        ),
+    })
+    assert _rules(findings) == ["span-leak"]
+    assert "wb.issue" in findings[0].message
+
+
+def test_complete_spans_are_not_split_halves(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/cache.py": (
+            "def f(obs):\n"
+            "    obs.emit('txn.read', ts=1.0, dur=5.0, kind='span')\n"
+            "    obs.emit_now('wb.issue')\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_span_leak_only_polices_the_machine_layer(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "analysis/report.py": (
+            "def f(obs):\n"
+            "    obs.emit('dir.service', ts=1.0, kind='begin')\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_span_leak_suppression(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/directory.py": (
+            "def service(self, obs):\n"
+            "    obs.emit('dir.service', ts=1.0, kind='begin')"
+            "  # lint: ignore[span-leak]\n"
+        ),
+    })
+    assert findings == []
