@@ -65,18 +65,33 @@ def test_throughput_characterize(benchmark):
 # -- perf-telemetry pipeline (python benchmarks/bench_... / make bench-perf) --
 
 
-def _measure(scheme: str, *, particles: int, steps: int) -> dict:
-    """Time one MP3D run of a scheme; returns the per-scheme record."""
+def _measure(
+    scheme: str, *, particles: int, steps: int, repeats: int = 3
+) -> dict:
+    """Time MP3D runs of a scheme; returns the per-scheme record.
+
+    The simulation is deterministic, so every repeat executes the exact
+    same event sequence; only the wall clock varies with machine noise.
+    Best-of-``repeats`` (minimum wall time) is the standard way to
+    estimate the true cost — the minimum is the run least disturbed by
+    the OS — and is what the perf CI gate needs to hold a ±15% band.
+    """
     cfg = MachineConfig(num_clusters=8, scheme=scheme)
     wl = MP3DWorkload(8, num_particles=particles, steps=steps)
-    system = DashSystem(cfg, wl)
-    t0 = time.perf_counter()
-    stats = system.run()
-    wall = time.perf_counter() - t0
+    # one discarded warm-up run faults in code pages and warms the
+    # allocator, which otherwise taxes the first scheme measured
+    DashSystem(cfg, wl).run()
+    wall = float("inf")
+    for _ in range(max(1, repeats)):
+        system = DashSystem(cfg, wl)
+        t0 = time.perf_counter()
+        stats = system.run()
+        wall = min(wall, time.perf_counter() - t0)
     refs = sum(p.reads + p.writes for p in stats.procs)
     return {
         "scheme": scheme,
         "wall_s": round(wall, 4),
+        "repeats": max(1, repeats),
         "sim_events": system.events.events_run,
         "events_per_s": round(system.events.events_run / wall) if wall else 0,
         "refs": refs,

@@ -2,39 +2,98 @@
 
 The CI ``perf`` job runs the quick throughput bench and compares each
 scheme's ``events_per_s`` against the committed ``BENCH_throughput.json``
-with a relative tolerance (default ±30%, wide enough for runner noise
-and the quick-vs-full workload difference, tight enough to catch an
-algorithmic slowdown in the event kernel or directory hot paths).
+with a relative tolerance (default ±15% — the bench takes best-of-N
+repeats, so runner noise is small and an algorithmic slowdown in the
+event kernel or directory hot paths shows up immediately).
 
 Usage::
 
-    python benchmarks/check_perf.py BASELINE.json FRESH.json --tolerance 0.30
+    python benchmarks/check_perf.py BASELINE.json FRESH.json \
+        --tolerance 0.15 --history perf_history.jsonl --history-window 5
 
-Exit status 0 when every scheme present in both files is within
-tolerance, 1 otherwise.  Schemes present in the baseline but missing
-from the fresh run (or vice versa) fail the gate: a silently dropped
-measurement is not a pass.
+Exit status:
+
+* ``0`` — every scheme present in both files is within tolerance;
+* ``1`` — at least one scheme regressed (or vanished from the fresh
+  run): the per-scheme deltas are listed in the failure summary;
+* ``2`` — the baseline is unusable (file missing/unreadable/empty, or a
+  measured scheme has no baseline entry).  Distinct from a regression so
+  CI can tell "refresh the baseline" apart from "the code got slower".
+
+``--history`` appends the fresh per-scheme numbers as one JSON line per
+run (a JSONL file CI persists as an artifact) and *also* compares each
+scheme against the median of its last ``--history-window`` recorded
+runs.  The median damps single-run outliers, so a slow creep that stays
+inside the baseline tolerance per-step is still caught once it drifts
+from the recent trend.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 from pathlib import Path
-from typing import Dict
+from typing import Dict, List
+
+#: baseline is unusable — refresh it rather than hunting a regression
+EXIT_MISSING_BASELINE = 2
+#: at least one scheme is slower than tolerance allows
+EXIT_REGRESSION = 1
 
 
-def _per_scheme(path: Path) -> Dict[str, float]:
+def _per_scheme(path: Path, *, role: str) -> Dict[str, float]:
     """Map scheme -> events_per_s from a BENCH_throughput.json envelope."""
-    data = json.loads(path.read_text())
+    if not path.is_file():
+        print(f"{role} {path}: file not found")
+        raise SystemExit(
+            EXIT_MISSING_BASELINE if role == "baseline" else EXIT_REGRESSION
+        )
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"{role} {path}: unreadable ({exc})")
+        raise SystemExit(
+            EXIT_MISSING_BASELINE if role == "baseline" else EXIT_REGRESSION
+        )
     records = data.get("results", [])
     out: Dict[str, float] = {}
     for record in records:
         out[str(record["scheme"])] = float(record["events_per_s"])
     if not out:
-        raise SystemExit(f"{path}: no per-scheme results found")
+        print(f"{role} {path}: no per-scheme results found")
+        raise SystemExit(
+            EXIT_MISSING_BASELINE if role == "baseline" else EXIT_REGRESSION
+        )
     return out
+
+
+def _load_history(path: Path) -> List[Dict[str, float]]:
+    """Previous runs from the JSONL history file (oldest first)."""
+    if not path.is_file():
+        return []
+    runs: List[Dict[str, float]] = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # a truncated line from a killed run is not fatal
+        if isinstance(record, dict) and record.get("schemes"):
+            runs.append({
+                str(k): float(v) for k, v in record["schemes"].items()
+            })
+    return runs
+
+
+def _append_history(path: Path, fresh: Dict[str, float]) -> None:
+    """Record this run's numbers as one JSON line."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps({"schemes": fresh}, sort_keys=True) + "\n")
 
 
 def main(argv=None) -> int:
@@ -42,20 +101,33 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", type=Path)
     parser.add_argument("fresh", type=Path)
-    parser.add_argument("--tolerance", type=float, default=0.30,
-                        help="allowed relative deviation (0.30 = ±30%%)")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed relative deviation (0.15 = ±15%%)")
+    parser.add_argument("--history", type=Path, default=None, metavar="JSONL",
+                        help="append this run and compare against the "
+                             "median of the recorded trend")
+    parser.add_argument("--history-window", type=int, default=5, metavar="N",
+                        help="trend window: median of the last N runs")
+    parser.add_argument("--history-min-runs", type=int, default=3,
+                        metavar="M",
+                        help="skip the trend check until M runs are "
+                             "recorded (a short history is all noise)")
     args = parser.parse_args(argv)
-    base = _per_scheme(args.baseline)
-    fresh = _per_scheme(args.fresh)
-    failed = False
-    for scheme in sorted(set(base) | set(fresh)):
+    base = _per_scheme(args.baseline, role="baseline")
+    fresh = _per_scheme(args.fresh, role="fresh")
+
+    missing_baseline = sorted(set(fresh) - set(base))
+    if missing_baseline:
+        for scheme in missing_baseline:
+            print(f"FAIL {scheme:>8}: missing from baseline — refresh "
+                  f"{args.baseline}")
+        return EXIT_MISSING_BASELINE
+
+    failures: List[str] = []
+    for scheme in sorted(base):
         if scheme not in fresh:
             print(f"FAIL {scheme:>8}: missing from fresh run")
-            failed = True
-            continue
-        if scheme not in base:
-            print(f"FAIL {scheme:>8}: missing from baseline")
-            failed = True
+            failures.append(f"{scheme}: missing from fresh run")
             continue
         ratio = fresh[scheme] / base[scheme] if base[scheme] else float("inf")
         drift = ratio - 1.0
@@ -64,8 +136,48 @@ def main(argv=None) -> int:
         print(f"{mark} {scheme:>8}: baseline={base[scheme]:>10,.0f} ev/s  "
               f"fresh={fresh[scheme]:>10,.0f} ev/s  drift={drift:+.1%} "
               f"(tolerance ±{args.tolerance:.0%})")
-        failed = failed or not ok
-    return 1 if failed else 0
+        if not ok:
+            failures.append(
+                f"{scheme}: {base[scheme]:,.0f} -> {fresh[scheme]:,.0f} "
+                f"ev/s ({drift:+.1%})"
+            )
+
+    if args.history is not None:
+        runs = _load_history(args.history)
+        window = runs[-max(1, args.history_window):]
+        if len(runs) >= max(1, args.history_min_runs):
+            for scheme in sorted(base):
+                if scheme not in fresh:
+                    continue
+                samples = [r[scheme] for r in window if scheme in r]
+                if not samples:
+                    continue
+                median = statistics.median(samples)
+                drift = (fresh[scheme] / median - 1.0) if median else 0.0
+                ok = abs(drift) <= args.tolerance
+                mark = "ok  " if ok else "FAIL"
+                print(f"{mark} {scheme:>8}: trend median of last "
+                      f"{len(samples)}={median:>10,.0f} ev/s  "
+                      f"fresh={fresh[scheme]:>10,.0f} ev/s  "
+                      f"drift={drift:+.1%}")
+                if not ok:
+                    failures.append(
+                        f"{scheme}: drifted {drift:+.1%} from trend "
+                        f"median {median:,.0f} ev/s"
+                    )
+        else:
+            print(f"trend check skipped: {len(runs)} run(s) recorded, "
+                  f"need {args.history_min_runs}")
+        _append_history(args.history, fresh)
+        print(f"appended run to {args.history} "
+              f"({len(runs) + 1} total)")
+
+    if failures:
+        print("\nper-scheme failures:")
+        for line in failures:
+            print(f"  {line}")
+        return EXIT_REGRESSION
+    return 0
 
 
 if __name__ == "__main__":

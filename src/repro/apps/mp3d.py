@@ -94,38 +94,51 @@ class MP3DWorkload(Workload):
         position = {p: rng.randrange(zone.start, zone.stop) for p in owned}
         velocity = {p: rng.choice((-2, -1, 1, 2)) for p in owned}
         work = self.move_work_cycles
+        # every generated index is in range by construction, so addresses
+        # are computed directly from (base, stride) instead of through the
+        # range-checked SharedArray.addr — this generator is on the
+        # simulation hot path (one resumption per op)
+        pbase = self.particles.base
+        pstride = self.particles.element_bytes
+        cbase = self.cells.base
+        cstride = self.cells.element_bytes
+        owned_t = tuple(owned)
+        random = rng.random
         for step in range(self.steps):
             # -- move phase --------------------------------------------------
             for p in owned:
-                yield Read(self.particles.addr(p))
+                paddr = pbase + p * pstride
+                yield Read(paddr)
                 # consult the departure cell's state (density affects the
                 # move) before updating it — makes the reference mix
                 # read-heavy, as in Table 2 (~60% reads for MP3D)
-                yield Read(self.cells.addr(position[p]))
+                yield Read(cbase + position[p] * cstride)
                 yield Work(work)
                 nxt = position[p] + velocity[p]
                 if nxt < lo or nxt > hi:
                     velocity[p] = -velocity[p]
                     nxt = min(max(nxt, lo), hi)
                 position[p] = nxt
-                yield Write(self.particles.addr(p))
+                yield Write(paddr)
                 # update the destination space cell's population counter
-                cell_addr = self.cells.addr(position[p])
+                cell_addr = cbase + nxt * cstride
                 yield Read(cell_addr)
                 yield Write(cell_addr)
             # -- collision phase -----------------------------------------------
             for p in owned:
-                if rng.random() >= self.collision_fraction:
+                if random() >= self.collision_fraction:
                     continue
                 # partner: usually a neighbouring owned particle, sometimes
                 # (same-cell, other-processor) a foreign one -> 2-sharer
-                if rng.random() < 0.25:
+                if random() < 0.25:
                     partner = rng.randrange(self.num_particles)
                 else:
-                    partner = rng.choice(tuple(owned))
-                yield Read(self.particles.addr(p))
-                yield Read(self.particles.addr(partner))
+                    partner = rng.choice(owned_t)
+                paddr = pbase + p * pstride
+                partner_addr = pbase + partner * pstride
+                yield Read(paddr)
+                yield Read(partner_addr)
                 yield Work(work)
-                yield Write(self.particles.addr(p))
-                yield Write(self.particles.addr(partner))
+                yield Write(paddr)
+                yield Write(partner_addr)
             yield Barrier(self.step_barriers[step])

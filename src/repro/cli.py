@@ -382,6 +382,36 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """``repro profile``: cProfile the hot loop of one simulation.
+
+    Builds the machine and workload *outside* the profiled region, so the
+    report shows only the simulation loop — the part the throughput
+    benchmark measures and the perf CI gate protects.
+    """
+    import cProfile
+    import pstats
+
+    from repro.machine.system import DashSystem
+
+    workload = _app_factory(args.app, args.procs, args.scale, args.seed)
+    system = DashSystem(_machine(args), workload)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    system.run(max_events=args.events)
+    profiler.disable()
+    events = system.events.events_run
+    print(f"{workload.name} on {args.procs} processors, scheme "
+          f"{args.scheme}: {events:,} events")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"wrote profile data to {args.out} "
+              f"(inspect with: python -m pstats {args.out})")
+    return 0
+
+
 def cmd_verify(args) -> int:
     """``repro verify``: delegate to the model checker / lint CLI."""
     from repro.verify.cli import main as verify_main
@@ -528,6 +558,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheme", default="full")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "profile", help="cProfile one simulation's hot loop (pstats report)"
+    )
+    _add_machine_args(p)
+    p.add_argument("--app", required=True)
+    p.add_argument("--events", type=int, default=None, metavar="N",
+                   help="stop after N events (default: run to completion)")
+    p.add_argument("--top", type=int, default=25, metavar="K",
+                   help="rows of the pstats report to print")
+    p.add_argument("--sort", default="tottime",
+                   choices=["tottime", "cumtime", "ncalls"],
+                   help="pstats sort key")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="also dump raw profile data for python -m pstats")
+    p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
         "verify", help="model-check schemes / lint the simulator sources"

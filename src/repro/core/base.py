@@ -75,6 +75,16 @@ class DirectoryEntry(ABC):
 
     # -- conveniences shared by all implementations ---------------------
 
+    def targets_sorted(self, exclude: Iterable[int] = ()) -> "list[int]":
+        """``sorted(invalidation_targets(exclude))``, the hot-path form.
+
+        The directory controller walks invalidation targets in ascending
+        node order; schemes with bitmask representations override this
+        with a bit-scan that yields the identical list without building
+        the intermediate frozenset.
+        """
+        return sorted(self.invalidation_targets(exclude))
+
     def is_empty(self) -> bool:
         """True when no node is (conservatively) recorded as a sharer."""
         return not self.invalidation_targets()
@@ -198,6 +208,11 @@ class PointerListEntry(DirectoryEntry):
             self.pointers.remove(node)
         except ValueError:
             pass
+
+    def _pointers_sorted(self, exclude: Iterable[int] = ()) -> "list[int]":
+        """Pointer-mode fast path for :meth:`targets_sorted`."""
+        excluded = set(exclude)
+        return sorted(p for p in self.pointers if p not in excluded)
 
 
 def nodes_in_regions(region_mask: int, region_size: int, num_nodes: int) -> FrozenSet[int]:

@@ -93,6 +93,25 @@ class CoarseVectorEntry(PointerListEntry):
             return self.region_mask == 0
         return not self.pointers
 
+    def targets_sorted(self, exclude: Iterable[int] = ()) -> "list[int]":
+        if not self.coarse:
+            return self._pointers_sorted(exclude)
+        # Ascending region scan expands each marked region in node order,
+        # so the concatenation is already sorted.
+        excluded = set(exclude)
+        region_size = self.scheme.region_size
+        num_nodes = self.scheme.num_nodes
+        mask = self.region_mask
+        out = []
+        while mask:
+            low = mask & -mask
+            start = (low.bit_length() - 1) * region_size
+            for n in range(start, min(start + region_size, num_nodes)):
+                if n not in excluded:
+                    out.append(n)
+            mask ^= low
+        return out
+
 
 class CoarseVectorScheme(DirectoryScheme):
     """``Dir_iCV_r``: ``i`` pointers, overflow to regions of ``r`` nodes."""

@@ -53,6 +53,19 @@ class FullBitVectorEntry(DirectoryEntry):
     def might_share(self, node: int) -> bool:
         return bool(self.mask >> node & 1)
 
+    def targets_sorted(self, exclude: Iterable[int] = ()) -> "list[int]":
+        # Ascending bit-scan over the presence mask; clearing the excluded
+        # bits first keeps the loop branch-free.
+        mask = self.mask
+        for n in exclude:
+            mask &= ~(1 << n)
+        out = []
+        while mask:
+            low = mask & -mask
+            out.append(low.bit_length() - 1)
+            mask ^= low
+        return out
+
 
 class FullBitVectorScheme(DirectoryScheme):
     """``Dir_N``: the exact baseline every other scheme is measured against."""

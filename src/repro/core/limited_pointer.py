@@ -70,6 +70,14 @@ class BroadcastEntry(PointerListEntry):
     def is_empty(self) -> bool:
         return not self.broadcast and not self.pointers
 
+    def targets_sorted(self, exclude: Iterable[int] = ()) -> "list[int]":
+        if not self.broadcast:
+            return self._pointers_sorted(exclude)
+        excluded = set(exclude)
+        return [
+            n for n in range(self.scheme.num_nodes) if n not in excluded
+        ]
+
 
 class LimitedPointerBroadcastScheme(DirectoryScheme):
     """``Dir_iB`` from Agarwal et al. [1], the paper's main strawman."""
@@ -125,6 +133,9 @@ class NoBroadcastEntry(PointerListEntry):
 
     def is_empty(self) -> bool:
         return not self.pointers
+
+    def targets_sorted(self, exclude: Iterable[int] = ()) -> "list[int]":
+        return self._pointers_sorted(exclude)
 
 
 class LimitedPointerNoBroadcastScheme(DirectoryScheme):

@@ -95,6 +95,16 @@ class SupersetEntry(PointerListEntry):
     def is_empty(self) -> bool:
         return self.composite is None and not self.pointers
 
+    def targets_sorted(self, exclude: Iterable[int] = ()) -> "list[int]":
+        if self.composite is None:
+            return self._pointers_sorted(exclude)
+        excluded = set(exclude)
+        value, x_mask = self.composite
+        targets = expand_composite(
+            value, x_mask, self.scheme.pointer_width, self.scheme.num_nodes
+        )
+        return sorted(t for t in targets if t not in excluded)
+
 
 class SupersetScheme(DirectoryScheme):
     """``Dir_iX`` (the paper's terminology for the scheme suggested in [1])."""

@@ -7,16 +7,16 @@ primary cache that only filters hits, and a write-back secondary cache
 that is the coherence point (inclusion is enforced — invalidating or
 evicting an L2 line purges the L1 copy).
 
-Each set is an ``OrderedDict`` tag->state used as an LRU stack: lookups
-move lines to the MRU end; victims pop from the LRU end.  Dirty evictions
-park the block in a *writeback buffer* until the home directory has
-processed the writeback, so a forwarded request racing the writeback
-still finds the data — exactly the role of DASH's writeback buffers.
+Each set is a plain insertion-ordered ``dict`` tag->state used as an LRU
+stack: lookups re-insert lines at the MRU end; victims pop from the LRU
+end (the first key in insertion order).  Dirty evictions park the block
+in a *writeback buffer* until the home directory has processed the
+writeback, so a forwarded request racing the writeback still finds the
+data — exactly the role of DASH's writeback buffers.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from enum import IntEnum
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -40,47 +40,46 @@ class CacheLevel:
         assoc = min(assoc, capacity_blocks)
         self.assoc = assoc
         self.num_sets = max(1, capacity_blocks // assoc)
-        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
-
-    def _set_of(self, block: int) -> OrderedDict:
-        return self._sets[block % self.num_sets]
+        self._sets: List[Dict[int, LineState]] = [
+            {} for _ in range(self.num_sets)
+        ]
 
     def lookup(self, block: int) -> Optional[LineState]:
         """State of ``block`` if present; refreshes LRU position."""
-        s = self._set_of(block)
-        state = s.get(block)
+        s = self._sets[block % self.num_sets]
+        state = s.pop(block, None)
         if state is not None:
-            s.move_to_end(block)
+            s[block] = state  # re-insert at the MRU end
         return state
 
     def peek(self, block: int) -> Optional[LineState]:
         """State without touching LRU (for snoops and invariant checks)."""
-        return self._set_of(block).get(block)
+        return self._sets[block % self.num_sets].get(block)
 
     def install(
         self, block: int, state: LineState
     ) -> Optional[Tuple[int, LineState]]:
         """Fill ``block``; returns the evicted ``(block, state)`` if any."""
-        s = self._set_of(block)
-        if block in s:
-            s[block] = state
-            s.move_to_end(block)
+        s = self._sets[block % self.num_sets]
+        if s.pop(block, None) is not None:
+            s[block] = state  # refresh state and LRU position
             return None
         victim = None
         if len(s) >= self.assoc:
-            victim = s.popitem(last=False)
+            vblock = next(iter(s))  # LRU end: oldest insertion
+            victim = (vblock, s.pop(vblock))
         s[block] = state
         return victim
 
     def set_state(self, block: int, state: LineState) -> None:
-        """Change an existing line's state (no-op if absent)."""
-        s = self._set_of(block)
+        """Change an existing line's state (no LRU side effects)."""
+        s = self._sets[block % self.num_sets]
         if block in s:
             s[block] = state
 
     def invalidate(self, block: int) -> Optional[LineState]:
         """Drop ``block``; returns its state if it was present."""
-        return self._set_of(block).pop(block, None)
+        return self._sets[block % self.num_sets].pop(block, None)
 
     def blocks(self) -> Iterator[Tuple[int, LineState]]:
         """Iterate over all (block, state) pairs currently cached."""
@@ -118,18 +117,34 @@ class ProcessorCache:
     # -- probes (no state change beyond LRU refresh) -----------------------
 
     def probe_read(self, block: int) -> Optional[str]:
-        """``"l1"`` / ``"l2"`` on a read hit, else ``None``."""
-        if self.l1.lookup(block) is not None:
-            # inclusion: an L1 line always has an L2 backing line
-            self.l2.lookup(block)  # refresh L2 LRU too
+        """``"l1"`` / ``"l2"`` on a read hit, else ``None``.
+
+        The probes run once per shared reference; both inline
+        :meth:`CacheLevel.lookup` (pop + re-insert at the MRU end) to
+        skip the per-level call overhead on the hot path.
+        """
+        l1 = self.l1
+        s1 = l1._sets[block % l1.num_sets]
+        state = s1.pop(block, None)
+        l2 = self.l2
+        s2 = l2._sets[block % l2.num_sets]
+        state2 = s2.pop(block, None)
+        if state2 is not None:
+            s2[block] = state2  # refresh L2 LRU (inclusion backing line)
+        if state is not None:
+            s1[block] = state
             return "l1"
-        if self.l2.lookup(block) is not None:
+        if state2 is not None:
             return "l2"
         return None
 
     def probe_write(self, block: int) -> Optional[str]:
         """``"hit"`` if writable (L2 DIRTY), ``"upgrade"`` if L2 SHARED."""
-        state = self.l2.lookup(block)
+        l2 = self.l2
+        s2 = l2._sets[block % l2.num_sets]
+        state = s2.pop(block, None)
+        if state is not None:
+            s2[block] = state
         if state is LineState.DIRTY:
             self.l1.lookup(block)
             return "hit"

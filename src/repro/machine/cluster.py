@@ -15,11 +15,16 @@ Bus rules (Illinois-flavoured, at cluster scope):
 * write, only SHARED copies     -> directory transaction (other clusters
   may hold copies);
 * otherwise                     -> directory transaction.
+
+Hot-path note: ``try_local`` runs once per shared reference.  Its hit
+and miss outcomes carry no per-call state, so each cluster pre-builds
+one :class:`LocalResult` per outcome and returns the same (treated as
+immutable) object every time; with a single cache per cluster the
+sibling/ownership bus scans are skipped outright.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.machine.cache import LineState, ProcessorCache
@@ -27,15 +32,30 @@ from repro.machine.config import MachineConfig
 from repro.obs.tracer import NULL_TRACER
 
 
-@dataclass
 class LocalResult:
     """Outcome of attempting to satisfy a reference inside the cluster."""
 
-    satisfied: bool
-    latency: float = 0.0
-    #: evicted (block, was_dirty) pairs from any fills performed
-    evictions: Tuple[Tuple[int, bool], ...] = ()
-    where: str = ""  # "l1" | "l2" | "bus" for stats
+    __slots__ = ("satisfied", "latency", "evictions", "where")
+
+    def __init__(
+        self,
+        satisfied: bool,
+        latency: float = 0.0,
+        evictions: Tuple[Tuple[int, bool], ...] = (),
+        where: str = "",  # "l1" | "l2" | "bus" for stats
+    ) -> None:
+        self.satisfied = satisfied
+        self.latency = latency
+        #: evicted (block, was_dirty) pairs from any fills performed
+        self.evictions = evictions
+        self.where = where
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LocalResult(satisfied={self.satisfied}, "
+            f"latency={self.latency}, evictions={self.evictions}, "
+            f"where={self.where!r})"
+        )
 
 
 class Cluster:
@@ -58,6 +78,12 @@ class Cluster:
             )
             for i in range(config.procs_per_cluster)
         ]
+        #: the paper's configuration: one cache, so no bus paths exist
+        self._single = config.procs_per_cluster == 1
+        # Pre-built outcomes for the stateless cases (see module docstring).
+        self._hit_l1 = LocalResult(True, config.l1_hit_cycles, where="l1")
+        self._hit_l2 = LocalResult(True, config.l2_hit_cycles, where="l2")
+        self._miss = LocalResult(False)
 
     # -- local access paths -------------------------------------------------
 
@@ -68,31 +94,37 @@ class Cluster:
         must start a directory transaction; no state has changed.
         """
         cache = self.caches[proc_idx]
-        cfg = self.config
         if not is_write:
             hit = cache.probe_read(block)
-            if hit == "l1":
-                return LocalResult(True, cfg.l1_hit_cycles, where="l1")
-            if hit == "l2":
-                return LocalResult(True, cfg.l2_hit_cycles, where="l2")
+            if hit is not None:
+                return self._hit_l1 if hit == "l1" else self._hit_l2
+            if self._single:
+                return self._miss
             if self._sibling_with_copy(block, proc_idx) is not None:
                 evictions = self._install(proc_idx, block, LineState.SHARED)
                 return LocalResult(
-                    True, cfg.bus_transfer_cycles, evictions, where="bus"
+                    True, self.config.bus_transfer_cycles, evictions,
+                    where="bus",
                 )
-            return LocalResult(False)
+            return self._miss
 
         # write
         if cache.probe_write(block) == "hit":
-            return LocalResult(True, cfg.l1_hit_cycles, where="l1")
+            return self._hit_l1
+        if self._single:
+            # probe_write already inspected the only cache's L2: a DIRTY
+            # line would have hit, so the cluster cannot be the live owner
+            return self._miss
         if self._owns_live(block):
             # Cluster is the machine-wide owner: bus ownership transfer.
             for i, c in enumerate(self.caches):
                 if i != proc_idx:
                     c.invalidate(block)
             evictions = self._install(proc_idx, block, LineState.DIRTY)
-            return LocalResult(True, cfg.bus_transfer_cycles, evictions, where="bus")
-        return LocalResult(False)
+            return LocalResult(
+                True, self.config.bus_transfer_cycles, evictions, where="bus"
+            )
+        return self._miss
 
     def _sibling_with_copy(self, block: int, excluding: int) -> Optional[int]:
         for i, c in enumerate(self.caches):
@@ -108,12 +140,17 @@ class Cluster:
         a new write must go through the directory (whose re-grant cancels
         the in-flight writeback).  Ghosts only serve incoming forwards.
         """
-        return any(c.l2.peek(block) is LineState.DIRTY for c in self.caches)
+        for c in self.caches:
+            if c.l2.peek(block) is LineState.DIRTY:
+                return True
+        return False
 
     def _install(
         self, proc_idx: int, block: int, state: LineState
     ) -> Tuple[Tuple[int, bool], ...]:
         evictions = self.caches[proc_idx].install(block, state)
+        if not evictions:
+            return ()
         return tuple(
             (vblock, vstate is LineState.DIRTY) for vblock, vstate in evictions
         )
@@ -162,15 +199,24 @@ class Cluster:
 
     def has_copy(self, block: int) -> bool:
         """Any cache here holds the block (incl. writeback-buffer ghosts)."""
-        return any(c.has_copy(block) or block in c.wb_buffer for c in self.caches)
+        for c in self.caches:
+            if c.has_copy(block) or block in c.wb_buffer:
+                return True
+        return False
 
     def holds_dirty(self, block: int) -> bool:
         """Dirty data lives here (live line or writeback-buffer ghost)."""
-        return any(c.holds_dirty(block) for c in self.caches)
+        for c in self.caches:
+            if c.holds_dirty(block):
+                return True
+        return False
 
     def copies_besides_wb(self, block: int) -> bool:
         """Any live cache line (ignoring writeback-buffer ghosts)?"""
-        return any(c.has_copy(block) for c in self.caches)
+        for c in self.caches:
+            if c.has_copy(block):
+                return True
+        return False
 
     def writeback_done(self, block: int) -> None:
         """Home processed our writeback: release the buffer slot."""

@@ -59,12 +59,37 @@ def _nonzero_phases(**phases: float) -> Dict[str, float]:
     return {name: cycles for name, cycles in phases.items() if cycles}
 
 
+class _LegRowProxy:
+    """Row view over ``Network.leg`` for machines too large to tabulate."""
+
+    __slots__ = ("_net", "_src")
+
+    def __init__(self, net, src: int) -> None:
+        self._net = net
+        self._src = src
+
+    def __getitem__(self, dst: int) -> float:
+        return self._net.leg(self._src, dst)
+
+
+class _LegTableFallback:
+    """``legs[src][dst]`` facade that defers to ``Network.leg`` directly."""
+
+    __slots__ = ("_net",)
+
+    def __init__(self, net) -> None:
+        self._net = net
+
+    def __getitem__(self, src: int) -> _LegRowProxy:
+        return _LegRowProxy(self._net, src)
+
+
 class Transaction:
     """One memory transaction travelling to a home directory."""
 
     __slots__ = ("kind", "block", "requester", "proc_idx", "on_complete",
                  "still_shared", "attempts", "delivered", "t_arrive",
-                 "t_start", "txn_id", "phases")
+                 "t_start", "txn_id", "phases", "resume", "t_issue")
 
     def __init__(
         self,
@@ -72,7 +97,7 @@ class Transaction:
         block: int,
         requester: int,
         proc_idx: int = 0,
-        on_complete: Optional[Callable[[float], None]] = None,
+        on_complete: Optional[Callable[["Transaction", float], None]] = None,
         still_shared: bool = False,
         txn_id: Optional[int] = None,
     ) -> None:
@@ -80,6 +105,9 @@ class Transaction:
         self.block = block
         self.requester = requester
         self.proc_idx = proc_idx
+        #: completion hook, invoked as ``on_complete(txn, now)``.  Taking
+        #: the transaction positionally lets the system pass one shared
+        #: bound method instead of allocating a closure per miss.
         self.on_complete = on_complete
         self.still_shared = still_shared
         #: fault-layer redeliveries so far (drops and NAKs)
@@ -99,6 +127,10 @@ class Transaction:
         #: exact service-latency decomposition recorded at execute time
         #: (cycles per phase; the values sum to the execution delta)
         self.phases: Optional[Dict[str, float]] = None
+        #: processor continuation + issue time, carried for the system's
+        #: shared miss-completion handler (None/0.0 for writebacks, hints)
+        self.resume: Optional[Callable[[float, bool], None]] = None
+        self.t_issue = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Txn {self.kind} block={self.block} from={self.requester}>"
@@ -116,6 +148,45 @@ class DirectoryController:
         self._busy: Set[int] = set()
         self._pending: Dict[int, Deque[Transaction]] = {}
         self._ctrl_free = 0.0
+        # Hot-path bindings: everything here is fixed before controllers
+        # are built and never rebound (machine.invariants *can* be swapped
+        # after construction, so it is always read through self.machine).
+        self._events = machine.events
+        self._cfg = machine.config
+        self._net = machine.network
+        self._deliver = getattr(machine.network, "deliver", None)
+        self._clusters = machine.clusters
+        self._stats = machine.stats
+        self._obs = machine.obs
+        self._fault_plan = machine.fault_plan
+        self._count_msg = machine.count_msg
+        #: the raw message counter — hot sites bump it directly (inlined
+        #: machine.count_msg, whose src != dst guard the sites keep)
+        self._messages = machine.stats.messages
+        #: ``legs[src][dst]`` == network.leg(src, dst) without the call
+        self._legs = (
+            machine._leg_table
+            if machine._leg_table is not None
+            else _LegTableFallback(machine.network)
+        )
+        self._strict = machine.strict
+        self._occupancy = machine.config.ctrl_occupancy_cycles
+        #: bounded stores (sparse) victimize on allocation and need the
+        #: in-flight pin set; unbounded stores never look at ``avoid``
+        self._needs_pins = store.capacity_entries() is not None
+        #: pooled stores (shared-entry) group several blocks per entry;
+        #: per-block stores always report group_mates == []
+        self._pooled = (
+            type(store).blocks_invalidated_with
+            is not DirectoryStore.blocks_invalidated_with
+        )
+        self._serial = getattr(machine.scheme, "serial_invalidations", False)
+        self._execute_kind = {
+            READ: self._execute_read,
+            WRITE: self._execute_write,
+            WRITEBACK: self._execute_writeback,
+            HINT: self._execute_hint,
+        }
         #: (block, cluster) -> number of in-flight writebacks that were
         #: obsoleted by a subsequent ownership re-grant and must be dropped
         self._cancelled_wb: Dict[Tuple[int, int], int] = {}
@@ -132,25 +203,28 @@ class DirectoryController:
 
     def submit(self, txn: Transaction) -> None:
         """Send ``txn`` to this home; called at the requester's issue time."""
-        machine = self.machine
         if txn.kind == WRITEBACK:
             key = (txn.block, txn.requester)
             self._wb_inflight[key] = self._wb_inflight.get(key, 0) + 1
-        machine.count_msg(MsgClass.REQUEST, txn.requester, self.cluster_id)
-        if machine.invariants is not None:
-            machine.invariants.on_submit(txn, machine.events.now)
+        if txn.requester != self.cluster_id:
+            self._messages[MsgClass.REQUEST] += 1
+        invariants = self.machine.invariants
+        if invariants is not None:
+            invariants.on_submit(txn, self._events.now)
         self._send(txn)
 
     def _send(self, txn: Transaction) -> None:
         """Put the request on the wire (clean path or via the fault layer)."""
         machine = self.machine
-        net = machine.network
-        now = machine.events.now
-        deliver = getattr(net, "deliver", None)
+        net = self._net
+        events = self._events
+        now = events.now
+        deliver = self._deliver
         if deliver is None:
-            arrival = now + net.leg(txn.requester, self.cluster_id)
-            self._trace_msg(txn, now, arrival)
-            machine.events.at(arrival, lambda: self._arrive(txn))
+            arrival = now + self._legs[txn.requester][self.cluster_id]
+            if self._obs.enabled:
+                self._trace_msg(txn, now, arrival)
+            events.at(arrival, self._arrive, txn)
             return
         # Replacement hints depend on point-to-point ordering (a delayed
         # hint could erase a re-fetched sharer) and are pure optimization,
@@ -183,8 +257,9 @@ class DirectoryController:
                 self._schedule_retry(txn, round_trip)
             return
         for arrival in d.arrivals:
-            self._trace_msg(txn, now, arrival)
-            machine.events.at(arrival, lambda: self._arrive(txn))
+            if self._obs.enabled:
+                self._trace_msg(txn, now, arrival)
+            events.at(arrival, self._arrive, txn)
 
     def _trace_msg(self, txn: Transaction, sent: float, arrival: float) -> None:
         """Record one wire message (inject -> deliver) when tracing."""
@@ -241,11 +316,12 @@ class DirectoryController:
             )
             obs.metrics.counter("retries").inc()
             obs.metrics.histogram("retry_wait").observe(delay)
-        machine.events.after(delay, lambda: self._resend(txn))
+        machine.events.after(delay, self._resend, txn)
 
     def _resend(self, txn: Transaction) -> None:
         """The retry is a real message: count it, then send again."""
-        self.machine.count_msg(MsgClass.REQUEST, txn.requester, self.cluster_id)
+        if txn.requester != self.cluster_id:
+            self._messages[MsgClass.REQUEST] += 1
         self._send(txn)
 
     def _arrive(self, txn: Transaction) -> None:
@@ -254,17 +330,18 @@ class DirectoryController:
             # dedupes by sequence number and discards it silently
             return
         txn.delivered = True
-        txn.t_arrive = self.machine.events.now
-        plan = self.machine.fault_plan
+        txn.t_arrive = self._events.now
+        plan = self._fault_plan
         if plan is not None and plan.corruption():
             # counted at roll time: the pulse happened even if the line it
             # hit was busy/dirty/absent and absorbed it without effect
-            self.machine.stats.count_fault(FaultKind.CORRUPT)
+            self._stats.count_fault(FaultKind.CORRUPT)
             self._inject_corruption(txn.block)
-        if txn.block in self._busy:
-            self._pending.setdefault(txn.block, deque()).append(txn)
+        block = txn.block
+        if block in self._busy:
+            self._pending.setdefault(block, deque()).append(txn)
             return
-        self._busy.add(txn.block)
+        self._busy.add(block)
         self._start(txn)
 
     def _inject_corruption(self, block: int) -> None:
@@ -291,53 +368,45 @@ class DirectoryController:
 
     def _start(self, txn: Transaction) -> None:
         """Queue on the controller (FIFO occupancy), then execute."""
-        now = self.machine.events.now
-        start = max(now, self._ctrl_free)
-        txn.t_start = start
-        self._ctrl_free = start + self.machine.config.ctrl_occupancy_cycles
+        now = self._events.now
+        start = self._ctrl_free
         if start > now:
-            self.machine.events.at(start, lambda: self._execute(txn))
+            txn.t_start = start
+            self._ctrl_free = start + self._occupancy
+            self._events.at(start, self._execute, txn)
         else:
+            txn.t_start = now
+            self._ctrl_free = now + self._occupancy
             self._execute(txn)
 
     # -- execution ------------------------------------------------------------
 
     def _execute(self, txn: Transaction) -> None:
-        if txn.kind == READ:
-            try:
-                delta = self._execute_read(txn)
-            except AllWaysBusy:
-                self._retry_later(txn)
-                return
-        elif txn.kind == WRITE:
-            try:
-                delta = self._execute_write(txn)
-            except AllWaysBusy:
-                self._retry_later(txn)
-                return
-        elif txn.kind == WRITEBACK:
-            delta = self._execute_writeback(txn)
-        elif txn.kind == HINT:
-            delta = self._execute_hint(txn)
-        else:  # pragma: no cover - defensive
+        handler = self._execute_kind.get(txn.kind)
+        if handler is None:  # pragma: no cover - defensive
             raise ValueError(f"unknown transaction kind {txn.kind!r}")
-        self.machine.events.after(delta, lambda: self._finish(txn))
+        try:
+            delta = handler(txn)
+        except AllWaysBusy:
+            # only reads/writes allocate, so only they can land here
+            self._retry_later(txn)
+            return
+        self._events.after(delta, self._finish, txn)
 
     def _retry_later(self, txn: Transaction) -> None:
         """Sparse allocation could not victimize anyone (all ways pinned by
         in-flight transactions): retry after a short backoff — the
         simulation analogue of DASH's busy NAK.  The pinned transactions
         complete at fixed future times, so this always terminates."""
-        delay = self.machine.config.ctrl_occupancy_cycles + 1.0
-        self.machine.events.after(delay, lambda: self._execute(txn))
+        self._events.after(self._occupancy + 1.0, self._execute, txn)
 
     def _pinned_blocks(self, current: int) -> FrozenSet[int]:
         """Blocks whose directory entries must not be victimized now."""
         return frozenset(b for b in self._busy if b != current)
 
     def _finish(self, txn: Transaction) -> None:
-        now = self.machine.events.now
-        obs = self.machine.obs
+        now = self._events.now
+        obs = self._obs
         if obs.enabled:
             # t_start (and, for writebacks, the resolved still_shared flag)
             # lets repro.verify.conformance order and interpret services by
@@ -363,18 +432,20 @@ class DirectoryController:
         if txn.on_complete is not None:
             # Completion effects (requester fill, processor resume) must be
             # visible before the next transaction on this block executes.
-            txn.on_complete(now)
-        self._busy.discard(txn.block)
-        if self.machine.invariants is not None:
+            txn.on_complete(txn, now)
+        block = txn.block
+        self._busy.discard(block)
+        invariants = self.machine.invariants
+        if invariants is not None:
             # after the completion effects and the busy release, so a
             # strict scan sees this block's final (coherent) state
-            self.machine.invariants.on_finish(txn, now)
-        queue = self._pending.get(txn.block)
+            invariants.on_finish(txn, now)
+        queue = self._pending.get(block)
         if queue:
             nxt = queue.popleft()
             if not queue:
-                del self._pending[txn.block]
-            self._busy.add(txn.block)
+                del self._pending[block]
+            self._busy.add(block)
             self._start(nxt)
 
     # -- observability helpers ---------------------------------------------
@@ -414,22 +485,28 @@ class DirectoryController:
     # -- reads ------------------------------------------------------------------
 
     def _execute_read(self, txn: Transaction) -> float:
-        cfg = self.machine.config
-        net = self.machine.network
+        cfg = self._cfg
         home = self.cluster_id
         req = txn.requester
-        line, evictions = self.store.get_or_allocate(
-            txn.block, avoid=self._pinned_blocks(txn.block)
+        if self._needs_pins:
+            line, evictions = self.store.get_or_allocate(
+                txn.block, avoid=self._pinned_blocks(txn.block)
+            )
+        else:
+            line, evictions = self.store.get_or_allocate(txn.block)
+        if self._obs.enabled:
+            self._sample_occupancy()
+        delta = (
+            self._process_sparse_evictions(evictions, txn.txn_id)
+            if evictions else 0.0
         )
-        self._sample_occupancy()
-        delta = self._process_sparse_evictions(evictions, txn.txn_id)
 
         if line.dirty and line.owner is not None and line.owner != req:
             # Forward to the owning cluster: it downgrades to SHARED,
             # supplies the data, and sends a sharing writeback home.
             owner = line.owner
-            found = self.machine.clusters[owner].downgrade_block(txn.block)
-            if not found and self.machine.strict:  # pragma: no cover
+            found = self._clusters[owner].downgrade_block(txn.block)
+            if not found and self._strict:  # pragma: no cover
                 raise RuntimeError(
                     f"coherence bug: forward for block {txn.block} found no "
                     f"copy at owner cluster {owner}"
@@ -441,23 +518,27 @@ class DirectoryController:
             # a SharedEntryDirectory, which must be preserved)
             self._record_sharer(line, owner, txn.block, txn.txn_id)
             self._record_sharer(line, req, txn.block, txn.txn_id)
-            self.machine.count_msg(MsgClass.REQUEST, home, owner)  # forward
-            self.machine.count_msg(MsgClass.REPLY, owner, req)  # data
-            self.machine.count_msg(MsgClass.REQUEST, owner, home)  # sharing wb
-            if self.machine.obs.enabled:
+            messages = self._messages
+            if home != owner:
+                messages[MsgClass.REQUEST] += 2  # forward + sharing wb
+            if owner != req:
+                messages[MsgClass.REPLY] += 1  # data
+            forward_leg = self._legs[home][owner]
+            reply_leg = self._legs[owner][req]
+            if self._obs.enabled:
                 txn.phases = _nonzero_phases(
                     sparse_recall=delta,
                     dir_lookup=cfg.dir_service_cycles,
-                    net_forward=net.leg(home, owner),
+                    net_forward=forward_leg,
                     remote_cache=cfg.cache_service_cycles,
-                    net_reply=net.leg(owner, req),
+                    net_reply=reply_leg,
                 )
             return (
                 delta
                 + cfg.dir_service_cycles
-                + net.leg(home, owner)
+                + forward_leg
                 + cfg.cache_service_cycles
-                + net.leg(owner, req)
+                + reply_leg
             )
 
         if line.dirty and line.owner == req:
@@ -468,14 +549,16 @@ class DirectoryController:
             line.dirty = False
             line.owner = None
         self._record_sharer(line, req, txn.block, txn.txn_id)
-        self.machine.count_msg(MsgClass.REPLY, home, req)
-        if self.machine.obs.enabled:
+        if home != req:
+            self._messages[MsgClass.REPLY] += 1
+        reply_leg = self._legs[home][req]
+        if self._obs.enabled:
             txn.phases = _nonzero_phases(
                 sparse_recall=delta,
                 memory=cfg.bus_cycles,
-                net_reply=net.leg(home, req),
+                net_reply=reply_leg,
             )
-        return delta + cfg.bus_cycles + net.leg(home, req)
+        return delta + cfg.bus_cycles + reply_leg
 
     def _record_sharer(
         self, line: DirLine, node: int, block: int,
@@ -486,17 +569,20 @@ class DirectoryController:
         if not victims:
             return
         machine = self.machine
+        stats = self._stats
+        messages = self._messages
         home = self.cluster_id
         inval_msgs = 0
         for victim in victims:
-            machine.clusters[victim].invalidate_block(block, txn_id=txn_id)
+            self._clusters[victim].invalidate_block(block, txn_id=txn_id)
             if victim != home:
-                machine.count_msg(MsgClass.INVALIDATION, home, victim)
-                machine.count_msg(MsgClass.ACKNOWLEDGEMENT, victim, home)
+                messages[MsgClass.INVALIDATION] += 1
+                messages[MsgClass.ACKNOWLEDGEMENT] += 1
                 inval_msgs += 1
-        machine.stats.nb_evictions += len(victims)
-        machine.stats.record_inval_event(InvalCause.NB_EVICT, inval_msgs)
-        self._trace_inval_round(InvalCause.NB_EVICT, block, inval_msgs, txn_id)
+        stats.nb_evictions += len(victims)
+        stats.record_inval_event(InvalCause.NB_EVICT, inval_msgs)
+        if self._obs.enabled:
+            self._trace_inval_round(InvalCause.NB_EVICT, block, inval_msgs, txn_id)
         if machine.invariants is not None:
             # acks return to the home's RAC, so recipient == home
             machine.invariants.on_inval_round(
@@ -510,45 +596,55 @@ class DirectoryController:
     # -- writes -----------------------------------------------------------------
 
     def _execute_write(self, txn: Transaction) -> float:
-        cfg = self.machine.config
-        net = self.machine.network
+        cfg = self._cfg
         machine = self.machine
         home = self.cluster_id
         req = txn.requester
-        line, evictions = self.store.get_or_allocate(
-            txn.block, avoid=self._pinned_blocks(txn.block)
+        if self._needs_pins:
+            line, evictions = self.store.get_or_allocate(
+                txn.block, avoid=self._pinned_blocks(txn.block)
+            )
+        else:
+            line, evictions = self.store.get_or_allocate(txn.block)
+        if self._obs.enabled:
+            self._sample_occupancy()
+        delta = (
+            self._process_sparse_evictions(evictions, txn.txn_id)
+            if evictions else 0.0
         )
-        self._sample_occupancy()
-        delta = self._process_sparse_evictions(evictions, txn.txn_id)
 
         if line.dirty and line.owner is not None and line.owner != req:
             # Ownership transfer: forward to owner, which invalidates its
             # copy, sends data+ownership to the requester, and notifies us.
             owner = line.owner
-            machine.clusters[owner].invalidate_block(
+            self._clusters[owner].invalidate_block(
                 txn.block, txn_id=txn.txn_id
             )
             line.owner = req  # stays dirty
             # ownership grant: req's earlier writebacks (if any are still
             # in flight) predate this grant and must never match
             self._cancel_inflight_writeback(txn.block, req)
-            machine.count_msg(MsgClass.REQUEST, home, owner)  # forward
-            machine.count_msg(MsgClass.REPLY, owner, req)  # data+ownership
-            machine.count_msg(MsgClass.REQUEST, owner, home)  # transfer notice
-            if machine.obs.enabled:
+            messages = self._messages
+            if home != owner:
+                messages[MsgClass.REQUEST] += 2  # forward + transfer notice
+            if owner != req:
+                messages[MsgClass.REPLY] += 1  # data+ownership
+            forward_leg = self._legs[home][owner]
+            reply_leg = self._legs[owner][req]
+            if self._obs.enabled:
                 txn.phases = _nonzero_phases(
                     sparse_recall=delta,
                     dir_lookup=cfg.dir_service_cycles,
-                    net_forward=net.leg(home, owner),
+                    net_forward=forward_leg,
                     remote_cache=cfg.cache_service_cycles,
-                    net_reply=net.leg(owner, req),
+                    net_reply=reply_leg,
                 )
             return (
                 delta
                 + cfg.dir_service_cycles
-                + net.leg(home, owner)
+                + forward_leg
                 + cfg.cache_service_cycles
-                + net.leg(owner, req)
+                + reply_leg
             )
 
         if line.dirty and line.owner == req:
@@ -577,69 +673,76 @@ class DirectoryController:
         # directory "can send invalidation messages as fast as the network
         # can accept them" (§3.3), i.e. one per issue slot, so a broadcast
         # both occupies the controller longer and delays its last ack.
-        serial = getattr(machine.scheme, "serial_invalidations", False)
+        serial = self._serial
         if serial and hasattr(line.entry, "invalidation_chain"):
             # SCI order: unravel the list head-first (§3.3)
             targets = list(line.entry.invalidation_chain(exclude=(req,)))
         else:
-            targets = sorted(line.entry.invalidation_targets(exclude=(req,)))
+            targets = line.entry.targets_sorted((req,))
         # A store that pools several blocks' presence into one entry
         # (SharedEntryDirectory) resets the whole group's knowledge below,
         # so clean copies of every group-mate must also die now.
-        group_mates = [
-            b
-            for b in self.store.blocks_invalidated_with(txn.block)
-            if b != txn.block
-        ]
-        blockers = [b for b in group_mates if b in self._busy]
-        if blockers and not all(
-            b in self._deferred_writes and txn.block < b for b in blockers
-        ):
-            # A group-mate's transaction is still in flight: its requester
-            # installs a copy only at completion, after our entry reset
-            # would have forgotten it.  NAK-retry until the group is quiet.
-            # Mutually-deferred grouped writes would livelock, so the
-            # lowest block id among deferred writers wins the tie.
-            self._deferred_writes.add(txn.block)
-            raise AllWaysBusy(f"group-mate of block {txn.block} busy")
-        self._deferred_writes.discard(txn.block)
+        if self._pooled:
+            group_mates = [
+                b
+                for b in self.store.blocks_invalidated_with(txn.block)
+                if b != txn.block
+            ]
+            blockers = [b for b in group_mates if b in self._busy]
+            if blockers and not all(
+                b in self._deferred_writes and txn.block < b for b in blockers
+            ):
+                # A group-mate's transaction is still in flight: its
+                # requester installs a copy only at completion, after our
+                # entry reset would have forgotten it.  NAK-retry until the
+                # group is quiet.  Mutually-deferred grouped writes would
+                # livelock, so the lowest block id among deferred writers
+                # wins the tie.
+                self._deferred_writes.add(txn.block)
+                raise AllWaysBusy(f"group-mate of block {txn.block} busy")
+            self._deferred_writes.discard(txn.block)
+        else:
+            group_mates = []
         inval_msgs = 0
         worst_ack = 0.0
-        serial_path = 0.0
-        for i, t in enumerate(targets):
-            machine.clusters[t].invalidate_block(txn.block, txn_id=txn.txn_id)
-            for mate in group_mates:
-                machine.clusters[t].invalidate_if_clean(
-                    mate, txn_id=txn.txn_id
-                )
-            if t != home:
-                machine.count_msg(MsgClass.INVALIDATION, home, t)
-                inval_msgs += 1
-            machine.count_msg(MsgClass.ACKNOWLEDGEMENT, t, req)
-            if serial:
-                # cache-based linked list: "each write produces a serial
-                # string of invalidations ... having to walk through the
-                # list, cache-by-cache" — one full hop+service per sharer
-                # before the next can start (§3.3)
-                prev = home if i == 0 else targets[i - 1]
-                serial_path += net.leg(prev, t) + cfg.inval_service_cycles
-                worst_ack = max(worst_ack, serial_path + net.leg(t, req))
-            else:
-                # memory-based directory: invalidations leave back to back,
-                # "as fast as the network can accept them" (§3.3)
-                worst_ack = max(
-                    worst_ack,
-                    (i + 1) * cfg.inval_issue_cycles
-                    + net.leg(home, t)
-                    + cfg.inval_service_cycles
-                    + net.leg(t, req),
-                )
-        if not serial:
-            self._ctrl_free += len(targets) * cfg.inval_issue_cycles
-        machine.stats.record_inval_event(InvalCause.WRITE, inval_msgs)
-        self._trace_inval_round(
-            InvalCause.WRITE, txn.block, inval_msgs, txn.txn_id
-        )
+        if targets:
+            clusters = self._clusters
+            messages = self._messages
+            legs = self._legs
+            legs_home = legs[home]
+            issue = cfg.inval_issue_cycles
+            service = cfg.inval_service_cycles
+            serial_path = 0.0
+            for i, t in enumerate(targets):
+                clusters[t].invalidate_block(txn.block, txn_id=txn.txn_id)
+                for mate in group_mates:
+                    clusters[t].invalidate_if_clean(mate, txn_id=txn.txn_id)
+                if t != home:
+                    messages[MsgClass.INVALIDATION] += 1
+                    inval_msgs += 1
+                if t != req:  # targets exclude req by contract
+                    messages[MsgClass.ACKNOWLEDGEMENT] += 1
+                if serial:
+                    # cache-based linked list: "each write produces a serial
+                    # string of invalidations ... having to walk through the
+                    # list, cache-by-cache" — one full hop+service per
+                    # sharer before the next can start (§3.3)
+                    prev = home if i == 0 else targets[i - 1]
+                    serial_path += legs[prev][t] + service
+                    worst_ack = max(worst_ack, serial_path + legs[t][req])
+                else:
+                    # memory-based directory: invalidations leave back to
+                    # back, "as fast as the network can accept them" (§3.3)
+                    ack = (i + 1) * issue + legs_home[t] + service + legs[t][req]
+                    if ack > worst_ack:
+                        worst_ack = ack
+            if not serial:
+                self._ctrl_free += len(targets) * issue
+        self._stats.record_inval_event(InvalCause.WRITE, inval_msgs)
+        if self._obs.enabled:
+            self._trace_inval_round(
+                InvalCause.WRITE, txn.block, inval_msgs, txn.txn_id
+            )
         if machine.invariants is not None:
             # the writer collects one ack per target (targets exclude req)
             machine.invariants.on_inval_round(
@@ -649,7 +752,8 @@ class DirectoryController:
                 invals=inval_msgs,
                 acks=len(targets),
             )
-        machine.count_msg(MsgClass.REPLY, home, req)  # ownership (+inval count)
+        if home != req:
+            self._messages[MsgClass.REPLY] += 1  # ownership (+inval count)
 
         line.dirty = True
         line.owner = req
@@ -660,16 +764,16 @@ class DirectoryController:
             # recorded so the directory stays conservative for them.
             line.entry.record_sharer(req)
 
-        reply_path = cfg.bus_cycles + net.leg(home, req)
+        reply_path = cfg.bus_cycles + self._legs[home][req]
         ack_path = (cfg.dir_service_cycles + worst_ack) if targets else 0.0
-        if machine.obs.enabled:
+        if self._obs.enabled:
             # inval_fanout is the latency the ack collection adds *beyond*
             # the direct ownership reply — the §6.2 overhead a coarse
             # vector's extra invalidations inflate
             txn.phases = _nonzero_phases(
                 sparse_recall=delta,
                 memory=cfg.bus_cycles,
-                net_reply=net.leg(home, req),
+                net_reply=self._legs[home][req],
                 inval_fanout=max(reply_path, ack_path) - reply_path,
             )
         return delta + max(reply_path, ack_path)
@@ -693,10 +797,10 @@ class DirectoryController:
         key = (block, cluster)
         if self._cancelled_wb.get(key, 0) < self._wb_inflight.get(key, 0):
             self._cancelled_wb[key] = self._cancelled_wb.get(key, 0) + 1
-        self.machine.clusters[cluster].writeback_done(block)
+        self._clusters[cluster].writeback_done(block)
 
     def _execute_writeback(self, txn: Transaction) -> float:
-        cfg = self.machine.config
+        cfg = self._cfg
         req = txn.requester
         key = (txn.block, req)
         remaining = self._wb_inflight.get(key, 0) - 1
@@ -721,7 +825,7 @@ class DirectoryController:
             # A local bus read may have re-filled a cache from the
             # writeback buffer after this writeback left, so consult the
             # cluster's *current* state, not just the captured flag.
-            still_shared = txn.still_shared or self.machine.clusters[
+            still_shared = txn.still_shared or self._clusters[
                 req
             ].copies_besides_wb(txn.block)
             # record the *resolved* flag so the traced dir.service event
@@ -734,11 +838,11 @@ class DirectoryController:
             else:
                 self.store.release(txn.block)
         # else: stale writeback (ownership already moved on) — drop it.
-        self.machine.clusters[req].writeback_done(txn.block)
+        self._clusters[req].writeback_done(txn.block)
         return cfg.bus_cycles
 
     def _execute_hint(self, txn: Transaction) -> float:
-        cfg = self.machine.config
+        cfg = self._cfg
         line = self.store.lookup(txn.block)
         if line is not None and not line.dirty:
             line.entry.remove_sharer(txn.requester)
@@ -760,26 +864,27 @@ class DirectoryController:
         if not evictions:
             return 0.0
         machine = self.machine
-        cfg = machine.config
-        net = machine.network
+        cfg = self._cfg
+        legs = self._legs
+        legs_home = legs[self.cluster_id]
         home = self.cluster_id
         penalty = 0.0
         for ev in evictions:
-            machine.stats.sparse_replacements += 1
+            self._stats.sparse_replacements += 1
             inval_msgs = 0
             worst = 0.0
             for i, t in enumerate(ev.targets):
-                machine.clusters[t].invalidate_block(ev.block, txn_id=txn_id)
+                self._clusters[t].invalidate_block(ev.block, txn_id=txn_id)
                 if t != home:
-                    machine.count_msg(MsgClass.INVALIDATION, home, t)
-                    machine.count_msg(MsgClass.ACKNOWLEDGEMENT, t, home)
+                    self._messages[MsgClass.INVALIDATION] += 1
+                    self._messages[MsgClass.ACKNOWLEDGEMENT] += 1
                     inval_msgs += 1
                 worst = max(
                     worst,
                     (i + 1) * cfg.inval_issue_cycles
-                    + net.leg(home, t)
+                    + legs_home[t]
                     + cfg.inval_service_cycles
-                    + net.leg(t, home),
+                    + legs[t][home],
                 )
             self._ctrl_free += len(ev.targets) * cfg.inval_issue_cycles
             if machine.obs.enabled:

@@ -13,6 +13,12 @@ complete", §2).  With ``MachineConfig.release_consistency`` — DASH's
 actual model — writes retire in the background while the processor
 continues; synchronization operations and the end of the stream act as
 fences that drain outstanding writes first.
+
+Hot-path note: the blocking-access continuation is the bound method
+:meth:`Processor._mem_resume` (legal because a processor has at most one
+blocking reference outstanding), and frequently chased attributes
+(event queue, per-processor stats, block geometry) are bound once at
+construction — this loop dominates simulation wall time.
 """
 
 from __future__ import annotations
@@ -34,7 +40,9 @@ class Processor:
 
     __slots__ = ("machine", "proc_id", "cluster_id", "proc_idx", "_stream",
                  "stats", "done", "_outstanding_writes", "_fence",
-                 "_fence_start", "_pending_blocks")
+                 "_fence_start", "_pending_blocks", "_events", "_sync",
+                 "_block_bytes", "_release_consistency", "_t0", "_addr",
+                 "_is_write", "_issue_write", "_obs", "_trace_hook")
 
     def __init__(
         self, machine: "DashSystem", proc_id: int, stream: Iterator[TraceOp]
@@ -53,93 +61,116 @@ class Processor:
         self._fence_start = 0.0
         #: blocks with an in-flight buffered write (for store forwarding)
         self._pending_blocks: dict = {}
+        # hot-path bindings (never rebound for the life of the run)
+        self._events = machine.events
+        self._sync = machine.sync
+        self._block_bytes = machine.config.block_bytes
+        self._release_consistency = machine.config.release_consistency
+        #: issue time/address of the one outstanding *blocking* reference
+        self._t0 = 0.0
+        self._addr = 0
+        self._is_write = False
+        self._issue_write = (
+            self._issue_buffered_write
+            if self._release_consistency
+            else self._issue_blocking_write
+        )
+        # Processors are built inside run(), after any recorder has set
+        # machine.trace_hook, so both hooks can be bound once here.
+        self._obs = machine.obs
+        self._trace_hook = machine.trace_hook
 
     def start(self) -> None:
         """Schedule this processor's first op at the current time."""
-        self.machine.events.at(self.machine.events.now, self._next)
+        self._events.at(self._events.now, self._next)
 
     def _next(self) -> None:
         op = next(self._stream, None)
-        if self._needs_fence(op):
+        if self._outstanding_writes and (
+            op is None or type(op) in (Lock, Unlock, Barrier)
+        ):
             # drain outstanding writes before sync ops / retirement
             self._fence = op if op is not None else _END
-            self._fence_start = self.machine.events.now
+            self._fence_start = self._events.now
             return
         self._dispatch(op)
-
-    def _needs_fence(self, op) -> bool:
-        if self._outstanding_writes == 0:
-            return False
-        return op is None or type(op) in (Lock, Unlock, Barrier)
 
     def _fence_released(self) -> None:
         op = self._fence
         self._fence = None
-        self.stats.sync += self.machine.events.now - self._fence_start
+        self.stats.sync += self._events.now - self._fence_start
         self._dispatch(None if op is _END else op)
 
     def _dispatch(self, op) -> None:
         if op is None:
             self.done = True
-            self.stats.finish_time = self.machine.events.now
+            self.stats.finish_time = self._events.now
             self.machine.proc_finished(self)
             return
-        if self.machine.trace_hook is not None:
-            self.machine.trace_hook(self.proc_id, op, self.machine.events.now)
+        if self._trace_hook is not None:
+            self._trace_hook(self.proc_id, op, self._events.now)
         kind = type(op)
-        if kind is Work:
-            self.stats.busy += op.cycles
-            self.machine.events.after(op.cycles, self._next)
-        elif kind is Read:
+        # branch order matches op frequency in the workloads: reads,
+        # then writes, then work, then the rare synchronization ops
+        if kind is Read:
             self.stats.reads += 1
-            block = self.machine.config.block_of(op.addr)
-            if block in self._pending_blocks:
+            addr = op.addr
+            if self._pending_blocks and (
+                addr // self._block_bytes in self._pending_blocks
+            ):
                 # store-buffer forwarding: the read sees our own
                 # outstanding write without touching the memory system
                 self.stats.busy += WRITE_ISSUE_CYCLES
-                self.machine.events.after(WRITE_ISSUE_CYCLES, self._next)
+                self._events.after(WRITE_ISSUE_CYCLES, self._next)
             else:
-                self._issue_memory(op.addr, is_write=False)
+                self._t0 = self._events.now
+                self._addr = addr
+                self._is_write = False
+                self.machine.access(self, addr, False, self._mem_resume)
         elif kind is Write:
             self.stats.writes += 1
-            if self.machine.config.release_consistency:
-                self._issue_buffered_write(op.addr)
-            else:
-                self._issue_memory(op.addr, is_write=True)
+            self._issue_write(op.addr)
+        elif kind is Work:
+            self.stats.busy += op.cycles
+            self._events.after(op.cycles, self._next)
         elif kind is Lock:
-            t0 = self.machine.events.now
-            self.machine.sync.lock(self.proc_id, op.lock_id, self._sync_resume(t0))
+            t0 = self._events.now
+            self._sync.lock(self.proc_id, op.lock_id, self._sync_resume(t0))
         elif kind is Unlock:
-            t0 = self.machine.events.now
-            self.machine.sync.unlock(self.proc_id, op.lock_id, self._sync_resume(t0))
+            t0 = self._events.now
+            self._sync.unlock(self.proc_id, op.lock_id, self._sync_resume(t0))
         elif kind is Barrier:
-            t0 = self.machine.events.now
-            self.machine.sync.barrier(
+            t0 = self._events.now
+            self._sync.barrier(
                 self.proc_id, op.barrier_id, self._sync_resume(t0)
             )
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown trace op {op!r}")
 
-    def _issue_memory(self, addr: int, *, is_write: bool) -> None:
-        t0 = self.machine.events.now
-        obs = self.machine.obs
+    def _issue_blocking_write(self, addr: int) -> None:
+        """Sequential consistency: stall until every ack has arrived."""
+        self._t0 = self._events.now
+        self._addr = addr
+        self._is_write = True
+        self.machine.access(self, addr, True, self._mem_resume)
 
-        def resume(t: float, local_hit: bool) -> None:
-            elapsed = t - t0
-            if local_hit:
-                self.stats.busy += elapsed
-            else:
-                self.stats.stall += elapsed
-                if obs.enabled:
-                    obs.emit(
-                        "proc.stall", ts=t0, dur=elapsed, comp="proc",
-                        tid=self.proc_id,
-                        args={"addr": addr, "write": is_write},
-                    )
-                    obs.metrics.histogram("stall_cycles").observe(elapsed)
-            self._next()
-
-        self.machine.access(self, addr, is_write, resume)
+    def _mem_resume(self, t: float, local_hit: bool) -> None:
+        """Continuation of the one outstanding blocking reference."""
+        t0 = self._t0
+        elapsed = t - t0
+        if local_hit:
+            self.stats.busy += elapsed
+        else:
+            self.stats.stall += elapsed
+            obs = self._obs
+            if obs.enabled:
+                obs.emit(
+                    "proc.stall", ts=t0, dur=elapsed, comp="proc",
+                    tid=self.proc_id,
+                    args={"addr": self._addr, "write": self._is_write},
+                )
+                obs.metrics.histogram("stall_cycles").observe(elapsed)
+        self._next()
 
     def _issue_buffered_write(self, addr: int) -> None:
         """Release consistency: issue the write and keep going.
@@ -148,10 +179,10 @@ class Processor:
         the buffered entry (write combining); otherwise the write is
         issued to the memory system and retired in the background.
         """
-        block = self.machine.config.block_of(addr)
+        block = addr // self._block_bytes
         if block in self._pending_blocks:
             self.stats.busy += WRITE_ISSUE_CYCLES
-            self.machine.events.after(WRITE_ISSUE_CYCLES, self._next)
+            self._events.after(WRITE_ISSUE_CYCLES, self._next)
             return
         self._outstanding_writes += 1
         self._pending_blocks[block] = True
@@ -164,10 +195,10 @@ class Processor:
 
         self.machine.access(self, addr, True, retired)
         self.stats.busy += WRITE_ISSUE_CYCLES
-        self.machine.events.after(WRITE_ISSUE_CYCLES, self._next)
+        self._events.after(WRITE_ISSUE_CYCLES, self._next)
 
     def _sync_resume(self, t0: float):
-        obs = self.machine.obs
+        obs = self._obs
 
         def resume(t: float) -> None:
             self.stats.sync += t - t0

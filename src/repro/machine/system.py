@@ -83,6 +83,15 @@ class DashSystem:
             self.fault_plan = plan
             self.network = FaultyNetwork(self.network, plan)
         self.network.tracer = self.obs
+        #: dense ``leg`` table: ``_leg_table[src][dst]`` == network.leg —
+        #: latency models are pure, so the table is exact.  Directory
+        #: controllers index it instead of calling ``leg`` per message leg
+        #: (None for very large machines, where controllers fall back).
+        self._leg_table: Optional[List[List[float]]] = None
+        if config.num_clusters <= 256:
+            leg = self.network.leg
+            rng = range(config.num_clusters)
+            self._leg_table = [[leg(s, d) for d in rng] for s in rng]
         #: runtime invariant checker, or None when checking is off
         self.invariants: Optional[InvariantChecker] = None
         if invariants is None:
@@ -104,6 +113,9 @@ class DashSystem:
         self.sync = SyncManager(self)
         self.processors: List[Processor] = []
         self._finished = 0
+        # hot-path bindings (config is frozen; neither is ever rebound)
+        self._block_bytes = config.block_bytes
+        self._home_of = config.home_of
         #: monotone causal id for traced transactions (0 = never traced);
         #: advanced only when tracing is on, so untraced runs are untouched
         self._txn_seq = 0
@@ -173,68 +185,87 @@ class DashSystem:
         ``resume(time, local_hit)`` — ``local_hit`` tells the processor
         whether to book the elapsed time as busy (cache hit) or stall.
         """
-        cfg = self.config
-        block = cfg.block_of(addr)
+        block = addr // self._block_bytes
         cluster_id = proc.cluster_id
         cluster = self.clusters[cluster_id]
         local = cluster.try_local(proc.proc_idx, block, is_write)
+        stats = self.stats
+        events = self.events
         if local.satisfied:
-            if local.where == "l1":
-                self.stats.l1_hits += 1
-            elif local.where == "l2":
-                self.stats.l2_hits += 1
+            where = local.where
+            if where == "l1":
+                stats.l1_hits += 1
+                hit = True
+            elif where == "l2":
+                stats.l2_hits += 1
+                hit = True
             else:
-                self.stats.local_misses += 1
-            self._handle_evictions(cluster_id, local.evictions)
-            done = self.events.now + local.latency
-            hit = local.where in ("l1", "l2")
-            self.events.at(done, lambda: resume(done, hit))
+                stats.local_misses += 1
+                hit = False
+            if local.evictions:
+                self._handle_evictions(cluster_id, local.evictions)
+            done = events.now + local.latency
+            events.at(done, resume, done, hit)
             return
 
-        self.stats.remote_misses += 1
-        home = self.home_of(block)
-        obs = self.obs
-        t_issue = self.events.now
+        stats.remote_misses += 1
+        home = self._home_of(block)
         txn_id: Optional[int] = None
-        if obs.enabled:
+        if self.obs.enabled:
             # the causal correlation id every span this transaction
             # produces carries (see repro.obs.causal)
             self._txn_seq += 1
             txn_id = self._txn_seq
-
-        def on_complete(t: float) -> None:
-            if obs.enabled:
-                kind = "write" if is_write else "read"
-                obs.emit(
-                    f"txn.{kind}",
-                    ts=t_issue,
-                    dur=t - t_issue,
-                    comp="directory",
-                    tid=home,
-                    args={"block": block, "requester": cluster_id,
-                          "txn_id": txn_id},
-                )
-                obs.metrics.histogram(f"txn_latency.{kind}").observe(t - t_issue)
-            evictions = cluster.install_from_directory(
-                proc.proc_idx, block, dirty=is_write
-            )
-            self._handle_evictions(cluster_id, evictions)
-            resume(t, False)
 
         txn = Transaction(
             WRITE if is_write else READ,
             block,
             cluster_id,
             proc.proc_idx,
-            on_complete,
+            self._complete_miss,
             txn_id=txn_id,
         )
+        txn.resume = resume
+        txn.t_issue = events.now
         self.directories[home].submit(txn)
+
+    def _complete_miss(self, txn: Transaction, t: float) -> None:
+        """Directory transaction done: fill the requester and resume.
+
+        Shared completion handler for every remote miss — the transaction
+        carries its own continuation (``txn.resume``) and issue time, so
+        no per-miss closure is allocated.
+        """
+        is_write = txn.kind == WRITE
+        block = txn.block
+        cluster_id = txn.requester
+        obs = self.obs
+        if obs.enabled:
+            kind = "write" if is_write else "read"
+            t_issue = txn.t_issue
+            obs.emit(
+                f"txn.{kind}",
+                ts=t_issue,
+                dur=t - t_issue,
+                comp="directory",
+                tid=self._home_of(block),
+                args={"block": block, "requester": cluster_id,
+                      "txn_id": txn.txn_id},
+            )
+            obs.metrics.histogram(f"txn_latency.{kind}").observe(t - t_issue)
+        evictions = self.clusters[cluster_id].install_from_directory(
+            txn.proc_idx, block, dirty=is_write
+        )
+        if evictions:
+            self._handle_evictions(cluster_id, evictions)
+        txn.resume(t, False)
 
     def _handle_evictions(self, cluster_id: int, evictions) -> None:
         """Issue writebacks (and optional hints) for cache fills' victims."""
+        cluster = self.clusters[cluster_id]
+        directories = self.directories
+        home_of = self._home_of
         for vblock, was_dirty in evictions:
-            home = self.home_of(vblock)
             if was_dirty:
                 self.stats.writebacks += 1
                 if self.obs.enabled:
@@ -242,20 +273,20 @@ class DashSystem:
                         "wb.issue", comp="cluster", tid=cluster_id,
                         args={"block": vblock},
                     )
-                still_shared = self.clusters[cluster_id].copies_besides_wb(vblock)
-                self.directories[home].submit(
+                still_shared = cluster.copies_besides_wb(vblock)
+                directories[home_of(vblock)].submit(
                     Transaction(
                         WRITEBACK, vblock, cluster_id, still_shared=still_shared
                     )
                 )
             elif self.config.replacement_hints:
-                if not self.clusters[cluster_id].copies_besides_wb(vblock):
+                if not cluster.copies_besides_wb(vblock):
                     if self.obs.enabled:
                         self.obs.emit_now(
                             "hint.issue", comp="cluster", tid=cluster_id,
                             args={"block": vblock},
                         )
-                    self.directories[home].submit(
+                    directories[home_of(vblock)].submit(
                         Transaction(HINT, vblock, cluster_id)
                     )
 

@@ -61,12 +61,17 @@ def host_info() -> Dict[str, object]:
 
     ``cpus`` is the host's core count; ``cpus_usable`` is the
     affinity-masked count this process can schedule on — the figure that
-    actually bounds sweep parallelism in containerized CI.
+    actually bounds sweep parallelism in containerized CI.  ``machine``
+    (the CPU architecture) and the compiler build string matter when
+    comparing events/s baselines across runner pools: an arm64 runner
+    and an x86_64 runner are different machines, not a regression.
     """
     return {
         "platform": platform.platform(),
+        "machine": platform.machine(),
         "python": platform.python_version(),
         "implementation": platform.python_implementation(),
+        "python_compiler": platform.python_compiler(),
         "cpus": os.cpu_count() or 1,
         "cpus_usable": usable_cpus(),
     }

@@ -1,0 +1,140 @@
+"""The perf-regression gate: tolerance bands, history trend, exit codes."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from check_perf import (  # noqa: E402 - path bootstrap above
+    EXIT_MISSING_BASELINE,
+    EXIT_REGRESSION,
+    main,
+)
+
+
+def _bench_file(tmp_path: Path, name: str, schemes: dict) -> Path:
+    path = tmp_path / name
+    path.write_text(json.dumps({
+        "schema": 1,
+        "bench": "throughput",
+        "results": [
+            {"scheme": k, "events_per_s": v} for k, v in schemes.items()
+        ],
+    }))
+    return path
+
+
+def test_within_tolerance_passes(tmp_path, capsys):
+    base = _bench_file(tmp_path, "base.json", {"full": 100_000, "Dir3B": 90_000})
+    fresh = _bench_file(tmp_path, "fresh.json", {"full": 108_000, "Dir3B": 86_000})
+    assert main([str(base), str(fresh), "--tolerance", "0.15"]) == 0
+    out = capsys.readouterr().out
+    assert "ok" in out and "FAIL" not in out
+
+
+def test_regression_fails_with_per_scheme_deltas(tmp_path, capsys):
+    base = _bench_file(tmp_path, "base.json", {"full": 100_000, "Dir3B": 90_000})
+    fresh = _bench_file(tmp_path, "fresh.json", {"full": 50_000, "Dir3B": 89_000})
+    assert main([str(base), str(fresh), "--tolerance", "0.15"]) == EXIT_REGRESSION
+    out = capsys.readouterr().out
+    assert "per-scheme failures:" in out
+    assert "full: 100,000 -> 50,000" in out
+    assert "-50.0%" in out
+    assert "Dir3B" not in out.split("per-scheme failures:")[1]
+
+
+def test_missing_baseline_file_is_distinct_exit_code(tmp_path):
+    fresh = _bench_file(tmp_path, "fresh.json", {"full": 100_000})
+    missing = tmp_path / "nope.json"
+    with pytest.raises(SystemExit) as exc:
+        main([str(missing), str(fresh)])
+    assert exc.value.code == EXIT_MISSING_BASELINE
+
+
+def test_scheme_absent_from_baseline_is_missing_baseline(tmp_path, capsys):
+    base = _bench_file(tmp_path, "base.json", {"full": 100_000})
+    fresh = _bench_file(tmp_path, "fresh.json", {"full": 100_000, "Dir9B": 1})
+    assert main([str(base), str(fresh)]) == EXIT_MISSING_BASELINE
+    assert "refresh" in capsys.readouterr().out
+
+
+def test_scheme_absent_from_fresh_is_regression(tmp_path):
+    base = _bench_file(tmp_path, "base.json", {"full": 100_000, "Dir3B": 90_000})
+    fresh = _bench_file(tmp_path, "fresh.json", {"full": 100_000})
+    assert main([str(base), str(fresh)]) == EXIT_REGRESSION
+
+
+def test_empty_fresh_results_fail(tmp_path):
+    base = _bench_file(tmp_path, "base.json", {"full": 100_000})
+    fresh = tmp_path / "fresh.json"
+    fresh.write_text(json.dumps({"schema": 1, "results": []}))
+    with pytest.raises(SystemExit) as exc:
+        main([str(base), str(fresh)])
+    assert exc.value.code == EXIT_REGRESSION
+
+
+def test_history_appends_one_record_per_run(tmp_path):
+    base = _bench_file(tmp_path, "base.json", {"full": 100_000})
+    fresh = _bench_file(tmp_path, "fresh.json", {"full": 101_000})
+    history = tmp_path / "history.jsonl"
+    for _ in range(3):
+        assert main([str(base), str(fresh), "--history", str(history)]) == 0
+    lines = [ln for ln in history.read_text().splitlines() if ln.strip()]
+    assert len(lines) == 3
+    assert json.loads(lines[0]) == {"schemes": {"full": 101_000.0}}
+
+
+def test_history_median_catches_trend_drift(tmp_path, capsys):
+    # each run stays inside the baseline band, but the last one has
+    # drifted far from the recorded trend median
+    base = _bench_file(tmp_path, "base.json", {"full": 100_000})
+    history = tmp_path / "history.jsonl"
+    for v in (100_000, 101_000, 99_000):
+        fresh = _bench_file(tmp_path, "fresh.json", {"full": v})
+        assert main([
+            str(base), str(fresh), "--history", str(history),
+        ]) == 0
+    fresh = _bench_file(tmp_path, "fresh.json", {"full": 114_000})
+    code = main([
+        str(base), str(fresh), "--history", str(history),
+        "--tolerance", "0.10",
+    ])
+    assert code == EXIT_REGRESSION
+    out = capsys.readouterr().out
+    assert "trend median" in out
+
+
+def test_history_too_short_skips_trend_check(tmp_path, capsys):
+    base = _bench_file(tmp_path, "base.json", {"full": 100_000})
+    fresh = _bench_file(tmp_path, "fresh.json", {"full": 100_000})
+    history = tmp_path / "history.jsonl"
+    assert main([str(base), str(fresh), "--history", str(history)]) == 0
+    assert "trend check skipped" in capsys.readouterr().out
+
+
+def test_history_window_bounds_the_median(tmp_path):
+    # ancient slow runs outside the window must not drag the median
+    base = _bench_file(tmp_path, "base.json", {"full": 100_000})
+    history = tmp_path / "history.jsonl"
+    for v in (10_000, 10_000, 10_000, 100_000, 100_000, 100_000):
+        history.write_text(
+            history.read_text() if history.exists() else ""
+        )
+        with history.open("a") as fh:
+            fh.write(json.dumps({"schemes": {"full": v}}) + "\n")
+    fresh = _bench_file(tmp_path, "fresh.json", {"full": 100_000})
+    assert main([
+        str(base), str(fresh), "--history", str(history),
+        "--history-window", "3",
+    ]) == 0
+
+
+def test_truncated_history_line_is_ignored(tmp_path):
+    base = _bench_file(tmp_path, "base.json", {"full": 100_000})
+    fresh = _bench_file(tmp_path, "fresh.json", {"full": 100_000})
+    history = tmp_path / "history.jsonl"
+    history.write_text('{"schemes": {"full": 100000}}\n{"schem')
+    assert main([str(base), str(fresh), "--history", str(history)]) == 0

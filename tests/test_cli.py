@@ -220,3 +220,22 @@ class TestSweep:
         with pytest.raises(SystemExit):
             run_cli(capsys, "sweep", "--app", "MP3D", *SMALL,
                     "--axis", "no_such_field=1,2", "--no-cache")
+
+
+class TestProfile:
+    def test_profile_prints_pstats_report(self, capsys):
+        code, out = run_cli(capsys, "profile", "--app", "MP3D", *SMALL,
+                            "--top", "5")
+        assert code == 0
+        assert "events" in out
+        assert "cumtime" in out  # the pstats header
+        assert "events.py" in out  # the kernel shows up in any profile
+
+    def test_profile_event_cap_and_dump(self, capsys, tmp_path):
+        out_path = tmp_path / "profile.pstats"
+        code, out = run_cli(capsys, "profile", "--app", "MP3D", *SMALL,
+                            "--events", "50", "--sort", "cumtime",
+                            "--out", str(out_path))
+        assert code == 0
+        assert "50 events" in out  # the cap bound the run
+        assert out_path.is_file()

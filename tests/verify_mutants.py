@@ -50,6 +50,11 @@ class MissedInvalEntry(FullBitVectorEntry):
             return targets - {min(targets)}
         return targets
 
+    def targets_sorted(self, exclude: Iterable[int] = ()) -> "list[int]":
+        # the controller's bit-scan fast path must lie consistently with
+        # invalidation_targets, or the planted bug would vanish
+        return sorted(self.invalidation_targets(exclude))
+
 
 class MissedInvalScheme(FullBitVectorScheme):
     """Inval/ack-conservation mutant: one sharer always dodges the write."""
