@@ -1,6 +1,6 @@
 # Convenience targets for the reproduction.
 
-.PHONY: install test bench bench-perf bench-perf-quick chaos examples results clean
+.PHONY: install test bench bench-perf bench-perf-quick chaos chaos-ckpt examples results clean
 
 # parallel workers for the `results` regeneration (see docs/parallelism.md)
 JOBS ?= 1
@@ -30,6 +30,17 @@ chaos:
 	PYTHONPATH=src python -m repro sweep --app MP3D --procs 8 --scale 0.5 \
 	    --axis scheme=full,Dir2B,Dir1NB --axis sparse_size_factor=none,1.0 \
 	    --jobs 2 --no-cache --chaos 7 --timeout 20 --report sweep_report.json
+
+# checkpoint-resume smoke: chaos additionally SIGKILLs workers right
+# after their first mid-run snapshot; retries must *resume* from the
+# snapshot (fewer events re-simulated) with byte-identical results
+chaos-ckpt:
+	rm -rf .chaos-ckpt-cache
+	PYTHONPATH=src python -m repro sweep --app MP3D --procs 8 --scale 0.5 \
+	    --axis scheme=full,Dir2B,Dir1NB --axis sparse_size_factor=none,1.0 \
+	    --jobs 2 --cache-dir .chaos-ckpt-cache --chaos 7 --chaos-midkill 1.0 \
+	    --ckpt-interval 400 --timeout 20 --report sweep_ckpt_report.json
+	PYTHONPATH=src python -c "import json; c = json.load(open('sweep_ckpt_report.json'))['counts']; assert c['resumed_from_checkpoint'] >= 1 and c['events_saved'] > 0, c; print('chaos-ckpt:', c['resumed_from_checkpoint'], 'points resumed,', c['events_saved'], 'events saved')"
 
 # regenerate every table/figure report (and results/*.json);
 # e.g.  make results JOBS=4 CACHE_DIR=.repro-cache

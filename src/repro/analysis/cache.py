@@ -166,11 +166,15 @@ class ResultCache:
         """Remove atomic-write temp files older than ``ttl`` seconds.
 
         A writer SIGKILLed between ``mkstemp`` and ``os.replace`` leaks
-        a ``*.tmp`` file that no rerun would ever clean up.  Run on
-        startup; files younger than the TTL are left alone because a
-        concurrent live writer may still be about to rename them.
-        Returns the number of files removed (also accumulated on the
-        ``orphans`` counter).
+        a ``*.tmp`` file that no rerun would ever clean up.  This
+        covers both cached-result temps (``<key>.json.tmp``) and the
+        checkpoint temps sweep workers write under
+        ``<root>/checkpoints/`` (``pointNNNNN.ckpt.tmp`` — a worker
+        killed mid-snapshot leaks one; the committed ``.ckpt`` next to
+        it stays, it is the resume point).  Run on startup; files
+        younger than the TTL are left alone because a concurrent live
+        writer may still be about to rename them.  Returns the number
+        of files removed (also accumulated on the ``orphans`` counter).
         """
         if not self.root.is_dir():
             return 0

@@ -133,11 +133,13 @@ class ChaosPlan:
     Each grid point draws one action from a seeded RNG keyed by
     ``(seed, index)`` — ``kill`` (SIGKILL the worker mid-point),
     ``hang`` (sleep so the per-point timeout trips), ``fail`` (raise
-    :class:`ChaosError`), or nothing.  With ``once=True`` (the default)
-    a fault fires only on the point's *first* attempt, so bounded retry
-    always converges and final results stay byte-identical to a fault-
-    free run.  ``actions`` pins explicit ``index -> action`` choices for
-    targeted tests.
+    :class:`ChaosError`), ``midkill`` (SIGKILL the worker right after
+    its first periodic checkpoint lands on disk, so the retry *resumes*
+    instead of restarting), or nothing.  With ``once=True`` (the
+    default) a fault fires only on the point's *first* attempt, so
+    bounded retry always converges and final results stay
+    byte-identical to a fault-free run.  ``actions`` pins explicit
+    ``index -> action`` choices for targeted tests.
     """
 
     seed: int = 0
@@ -147,6 +149,7 @@ class ChaosPlan:
     once: bool = True
     hang_seconds: float = 3600.0
     actions: Optional[Dict[int, str]] = None
+    midkill: float = 0.0
 
     def action(self, index: int) -> Optional[str]:
         """The fault drawn for grid point ``index`` (None = no fault)."""
@@ -159,7 +162,21 @@ class ChaosPlan:
             return "hang"
         if draw < self.kill + self.hang + self.fail:
             return "fail"
+        if draw < self.kill + self.hang + self.fail + self.midkill:
+            return "midkill"
         return None
+
+    def midkill_armed(self, index: int, attempt: int) -> bool:
+        """Whether this attempt should die after its first checkpoint.
+
+        ``midkill`` is not fired by :meth:`strike` — it has to wait for
+        a snapshot to exist, so the worker arms it through the
+        :meth:`~repro.machine.system.DashSystem.run` ``on_checkpoint``
+        hook instead.
+        """
+        if attempt > 1 and self.once:
+            return False
+        return self.action(index) == "midkill"
 
     def strike(self, index: int, attempt: int) -> None:
         """Inject this point's fault (worker side); no-op when clean.
@@ -224,6 +241,10 @@ class PointOutcome:
     retries: int = 0
     error: Optional[str] = None
     wall: Optional[float] = None
+    #: a retry continued this point from a mid-run checkpoint instead of
+    #: restarting it, saving ``events_saved`` already-simulated events
+    resumed: bool = False
+    events_saved: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe record for :meth:`SweepReport.to_dict`."""
@@ -235,6 +256,8 @@ class PointOutcome:
             "retries": self.retries,
             "error": self.error,
             "wall": self.wall,
+            "resumed": self.resumed,
+            "events_saved": self.events_saved,
         }
 
 
@@ -303,15 +326,31 @@ class SweepReport:
         """Point abandoned unstarted because the sweep failed fast."""
         self.outcome(index, label).status = "skipped"
 
+    def mark_resumed(
+        self, index: int, events_saved: int, label: str = ""
+    ) -> None:
+        """An attempt continued from a checkpoint, skipping re-simulation.
+
+        ``events_saved`` is the event count the restored snapshot had
+        already executed — work the resumed attempt did *not* redo.
+        """
+        out = self.outcome(index, label)
+        out.resumed = True
+        out.events_saved += events_saved
+
     def counts(self) -> Dict[str, int]:
-        """Aggregate status counts plus the total retry count."""
+        """Aggregate status counts plus retry/resume totals."""
         out = {
             "completed": 0, "cached": 0, "quarantined": 0, "timed-out": 0,
             "failed": 0, "skipped": 0, "pending": 0, "retries": 0,
+            "resumed_from_checkpoint": 0, "events_saved": 0,
         }
         for o in self.outcomes.values():
             out[o.status] = out.get(o.status, 0) + 1
             out["retries"] += o.retries
+            if o.resumed:
+                out["resumed_from_checkpoint"] += 1
+            out["events_saved"] += o.events_saved
         return out
 
     @property
@@ -346,6 +385,11 @@ class SweepReport:
             parts.append(f"{c['cached']} cached")
         if c["retries"]:
             parts.append(f"{c['retries']} retries")
+        if c["resumed_from_checkpoint"]:
+            parts.append(
+                f"{c['resumed_from_checkpoint']} resumed from checkpoint "
+                f"({c['events_saved']} events saved)"
+            )
         if c["timed-out"]:
             parts.append(f"{c['timed-out']} timed-out")
         if c["quarantined"]:
@@ -421,6 +465,16 @@ class SweepManifest:
             i for i, s in self.statuses.items() if s in ("completed", "cached")
         )
 
+    def partial_indices(self) -> List[int]:
+        """Points whose worker died/timed out with a checkpoint on disk.
+
+        These re-execute on resume, but the worker restores the saved
+        snapshot and continues mid-run instead of restarting the point.
+        """
+        return sorted(
+            i for i, s in self.statuses.items() if s == "partial"
+        )
+
     def mark(self, index: int, status: str) -> None:
         """Record one point's status and persist the manifest atomically."""
         self.statuses[index] = status
@@ -448,21 +502,28 @@ class SweepManifest:
         return self.path
 
 
+def checkpoint_file(checkpoint_dir: Path | str, index: int) -> Path:
+    """The per-point snapshot path inside a sweep's checkpoint directory."""
+    return Path(checkpoint_dir) / f"point{index:05d}.ckpt"
+
+
 def _supervised_worker(
     specs: Sequence["PointSpec"],
     conn: "connection.Connection",
     chaos: Optional[ChaosPlan],
     telemetry_capacity: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    checkpoint_interval: Optional[int] = None,
 ) -> None:
     """Forked worker loop: receive ``(index, attempt)`` tasks, stream results.
 
     Protocol (worker -> parent): ``("start", idx, attempt)`` heartbeat
     before simulating, then ``("done", idx, attempt, stats, wall,
-    telemetry)`` or ``("fail", idx, attempt, exc)``.  A clean exception
-    keeps the worker alive for its next task; ``KeyboardInterrupt``/
-    ``SystemExit`` are *not* swallowed — SIGINT is restored to its
-    default disposition so Ctrl-C is handled once, by the parent's
-    supervisor loop.
+    telemetry, ckpt_info)`` or ``("fail", idx, attempt, exc)``.  A clean
+    exception keeps the worker alive for its next task;
+    ``KeyboardInterrupt``/``SystemExit`` are *not* swallowed — SIGINT is
+    restored to its default disposition so Ctrl-C is handled once, by
+    the parent's supervisor loop.
 
     With ``telemetry_capacity`` set (sweep aggregation on), each point
     runs under a fresh real :class:`~repro.obs.tracer.Tracer` and its
@@ -471,14 +532,32 @@ def _supervised_worker(
     stripped first: metrics travel in the telemetry, and the stats stay
     byte-identical to an untraced run (the zero-cost guarantee holds
     through the pipe, the result cache, and the results table).
+
+    With ``checkpoint_dir`` + ``checkpoint_interval`` set, each point
+    writes a crash-consistent snapshot every ``checkpoint_interval``
+    simulated events, and an attempt that finds a snapshot from a
+    previous (killed or timed-out) attempt restores it and continues
+    mid-run — re-simulating strictly fewer events, with byte-identical
+    results (the determinism contract in ``docs/robustness.md``).  A
+    snapshot that fails to load (torn write, version skew) is discarded
+    along with the half-restored machine, and the point restarts from
+    scratch.  ``ckpt_info`` on the ``done`` message reports
+    ``{"resumed": bool, "events_saved": int}`` (None when checkpointing
+    is off).  The chaos ``midkill`` action SIGKILLs the worker right
+    after its first snapshot lands, guaranteeing the retry exercises
+    the resume path.
     """
-    from repro.machine.system import run_workload
+    from repro.machine.checkpoint import CheckpointError, load_checkpoint
+    from repro.machine.system import DashSystem
 
     # restore default dispositions: the fork inherits the parent's
     # supervisor handlers, which merely set a flag — a worker keeping
     # them would ignore both Ctrl-C and the parent's terminate()
     signal.signal(signal.SIGINT, signal.SIG_DFL)
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    checkpointing = (
+        checkpoint_dir is not None and checkpoint_interval is not None
+    )
     while True:
         try:
             task = conn.recv()
@@ -495,11 +574,51 @@ def _supervised_worker(
             tracer: Optional[Tracer] = None
             if telemetry_capacity is not None:
                 tracer = Tracer(telemetry_capacity)
+            ckpt_path: Optional[str] = None
+            resumed = False
+            events_saved = 0
+            system: Optional[DashSystem] = None
+            if checkpointing:
+                assert checkpoint_dir is not None
+                ckpt_path = str(checkpoint_file(checkpoint_dir, idx))
+                if os.path.exists(ckpt_path):
+                    try:
+                        ckpt = load_checkpoint(ckpt_path)
+                        system = DashSystem(
+                            spec.config, spec.workload_factory(), obs=tracer
+                        )
+                        system.restore(ckpt)
+                        resumed = True
+                        # events the snapshot had already executed: work
+                        # this attempt will NOT re-simulate
+                        events_saved = system.events.events_run
+                    except CheckpointError:
+                        # restore mutates progressively — a failed load
+                        # leaves a half-restored machine; discard it and
+                        # start the point from scratch
+                        system = None
+            if system is None:
+                system = DashSystem(
+                    spec.config, spec.workload_factory(), obs=tracer
+                )
+            on_checkpoint = None
+            if chaos is not None and chaos.midkill_armed(idx, attempt):
+                if checkpointing:
+                    def on_checkpoint(_ckpt: Any) -> None:
+                        # die only once a resumable snapshot is on disk
+                        os.kill(os.getpid(), signal.SIGKILL)
+                else:  # no snapshots to wait for: degenerate to "kill"
+                    os.kill(os.getpid(), signal.SIGKILL)
             t0 = time.perf_counter()
-            stats = run_workload(
-                spec.config, spec.workload_factory(), check=spec.check,
-                obs=tracer,
+            stats = system.run(
+                checkpoint_path=ckpt_path,
+                checkpoint_interval=(
+                    checkpoint_interval if checkpointing else None
+                ),
+                on_checkpoint=on_checkpoint,
             )
+            if spec.check:
+                system.check_coherence()
             wall = time.perf_counter() - t0
             telemetry: Optional[PointTelemetry] = None
             if tracer is not None:
@@ -507,7 +626,12 @@ def _supervised_worker(
                 telemetry = PointTelemetry.capture(
                     tracer, index=idx, label=spec.label, wall_s=wall
                 )
-            conn.send(("done", idx, attempt, stats, wall, telemetry))
+            ckpt_info: Optional[Dict[str, Any]] = None
+            if checkpointing:
+                ckpt_info = {"resumed": resumed, "events_saved": events_saved}
+            conn.send(
+                ("done", idx, attempt, stats, wall, telemetry, ckpt_info)
+            )
         except Exception as exc:  # noqa: BLE001 - relayed to the parent
             import pickle
 
@@ -561,16 +685,40 @@ class SupervisedRunner:
         *,
         obs: Optional[Tracer] = None,
         telemetry_capacity: Optional[int] = None,
+        checkpoint_dir: Optional[Path | str] = None,
+        checkpoint_interval: Optional[int] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if checkpoint_interval is not None and checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
         self.jobs = jobs
         self.policy = policy if policy is not None else SupervisorPolicy()
         self.obs = obs if obs is not None else NULL_TRACER
         #: per-point tracer ring capacity inside workers; None = tracing
         #: off in workers (the zero-cost default)
         self.telemetry_capacity = telemetry_capacity
+        #: per-point crash-consistent snapshots: workers write
+        #: ``<dir>/pointNNNNN.ckpt`` every ``checkpoint_interval``
+        #: events and resume from it after a death/timeout (both must
+        #: be set; None = checkpointing off)
+        self.checkpoint_dir = (
+            str(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        self.checkpoint_interval = checkpoint_interval
         self._interrupted: Optional[int] = None
+
+    @property
+    def checkpointing(self) -> bool:
+        """True when workers snapshot and resume in-flight points."""
+        return (self.checkpoint_dir is not None
+                and self.checkpoint_interval is not None)
+
+    def _checkpoint_path(self, index: int) -> Optional[Path]:
+        """This point's snapshot file, or None when checkpointing is off."""
+        if self.checkpoint_dir is None:
+            return None
+        return checkpoint_file(self.checkpoint_dir, index)
 
     # -- signal handling ----------------------------------------------------
 
@@ -612,6 +760,7 @@ class SupervisedRunner:
         report: Optional[SweepReport] = None,
         on_telemetry: Optional[Callable[[PointTelemetry], None]] = None,
         monitor: Optional[SweepMonitor] = None,
+        on_partial: Optional[Callable[[int], None]] = None,
     ) -> Dict[int, SimStats]:
         """Execute the points at ``indices`` under supervision.
 
@@ -626,6 +775,9 @@ class SupervisedRunner:
         dedup as ``on_complete``).  ``monitor`` (a
         :class:`~repro.obs.dashboard.SweepMonitor`) receives point
         lifecycle callbacks plus a ``tick()`` per supervisor loop turn.
+        With checkpointing on, ``on_partial(idx)`` fires when a worker
+        died or timed out leaving a resumable snapshot behind (the
+        manifest records the point as ``partial``).
 
         Fail-fast mode (``keep_going=False``): the first point that
         exhausts its retries stops new dispatch; in-flight points are
@@ -654,7 +806,8 @@ class SupervisedRunner:
             proc = ctx.Process(
                 target=_supervised_worker,
                 args=(specs, child_conn, policy.chaos,
-                      self.telemetry_capacity),
+                      self.telemetry_capacity,
+                      self.checkpoint_dir, self.checkpoint_interval),
                 daemon=True,
             )
             proc.start()
@@ -666,6 +819,13 @@ class SupervisedRunner:
             failures[idx] = failures.get(idx, 0) + 1
             if self.obs.enabled and kind == "timeout":
                 self.obs.metrics.counter("sweep_timeouts").inc()
+            if kind in ("death", "timeout") and on_partial is not None:
+                ckpt = self._checkpoint_path(idx)
+                if ckpt is not None and ckpt.exists():
+                    # the dead attempt left a resumable snapshot: the
+                    # next attempt (this sweep or a --resume rerun)
+                    # continues from it instead of restarting
+                    on_partial(idx)
             if (policy.retryable(kind) or isinstance(exc, ChaosError)) \
                     and failures[idx] <= policy.max_retries \
                     and not failing_fast:
@@ -734,7 +894,7 @@ class SupervisedRunner:
                         if monitor is not None and w.proc.pid is not None:
                             monitor.point_started(idx, label(idx), w.proc.pid)
                 elif tag == "done":
-                    _, idx, attempt, stats, wall, telemetry = msg
+                    _, idx, attempt, stats, wall, telemetry, ckpt_info = msg
                     w.current, w.started_at = None, None
                     if idx not in outstanding:
                         continue  # resolved elsewhere (late arrival)
@@ -742,6 +902,19 @@ class SupervisedRunner:
                     results[idx] = stats
                     if report is not None:
                         report.mark_completed(idx, label(idx), wall)
+                        if ckpt_info is not None and ckpt_info["resumed"]:
+                            report.mark_resumed(
+                                idx, ckpt_info["events_saved"], label(idx)
+                            )
+                    if ckpt_info is not None:
+                        # the point is done: its snapshot is superseded
+                        # by the completed (and cached) result
+                        ckpt = self._checkpoint_path(idx)
+                        if ckpt is not None:
+                            try:
+                                ckpt.unlink()
+                            except OSError:
+                                pass
                     if telemetry is not None and on_telemetry is not None:
                         on_telemetry(telemetry)
                     if monitor is not None:
@@ -903,5 +1076,6 @@ __all__ = [
     "SweepManifest",
     "SweepReport",
     "WorkerDied",
+    "checkpoint_file",
     "fork_context",
 ]

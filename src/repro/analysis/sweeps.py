@@ -50,6 +50,7 @@ import queue as queue_mod
 import signal
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import (
     Any,
     Callable,
@@ -372,6 +373,8 @@ def run_points(
     manifest: Optional[SweepManifest] = None,
     aggregate: Optional[SweepAggregator] = None,
     monitor: Optional[SweepMonitor] = None,
+    checkpoint_dir: Optional[Path | str] = None,
+    checkpoint_interval: Optional[int] = None,
 ) -> List[Optional[SimStats]]:
     """Execute point specs with parallelism, caching, and supervision.
 
@@ -407,6 +410,17 @@ def run_points(
     accumulates per-point :class:`~repro.analysis.supervisor.
     PointOutcome` records; ``manifest`` persists per-point status for
     ``repro sweep --resume``.
+
+    ``checkpoint_dir`` + ``checkpoint_interval`` turn on crash-
+    consistent per-point snapshots on the supervised forked path:
+    workers write ``<dir>/pointNNNNN.ckpt`` every
+    ``checkpoint_interval`` simulated events, a killed or timed-out
+    point *resumes* from its last snapshot instead of restarting, and
+    the manifest records such points as ``partial`` so a later
+    ``--resume`` continues them mid-run too.  Results stay
+    byte-identical either way (``docs/robustness.md``).  The fork-free
+    serial fallback ignores checkpointing — it has no worker deaths to
+    recover from.
     """
     obs = obs if obs is not None else NULL_TRACER
     supervised = policy is not None
@@ -505,18 +519,28 @@ def run_points(
         raise RuntimeError("chaos injection requires fork-based workers")
     try:
         if use_workers:
+            if checkpoint_dir is not None:
+                Path(checkpoint_dir).mkdir(parents=True, exist_ok=True)
             runner = SupervisedRunner(
                 max(1, min(jobs, len(misses))), pol, obs=obs,
                 telemetry_capacity=(
                     aggregate.capacity if aggregate is not None else None
                 ),
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_interval=checkpoint_interval,
             )
+
+            def _partial(i: int) -> None:
+                if manifest is not None:
+                    manifest.mark(i, "partial")
+
             _deliver_prefix()
             runner.run(
                 specs, misses, on_complete=_record,
                 on_quarantine=_quarantine, report=report,
                 on_telemetry=_telemetry if aggregate is not None else None,
                 monitor=monitor,
+                on_partial=_partial if manifest is not None else None,
             )
         else:
             _deliver_prefix()
@@ -690,6 +714,8 @@ class Sweep:
         manifest: Optional[SweepManifest] = None,
         aggregate: Optional[SweepAggregator] = None,
         monitor: Optional[SweepMonitor] = None,
+        checkpoint_dir: Optional[Path | str] = None,
+        checkpoint_interval: Optional[int] = None,
     ) -> SweepResults:
         """Run every grid point; optionally parallel, cached, and traced.
 
@@ -706,6 +732,8 @@ class Sweep:
         points are simply absent from the returned results (the
         ``report`` records why).  ``aggregate``/``monitor`` — sweep
         observability (merged per-point telemetry, live dashboard), see
+        :func:`run_points`.  ``checkpoint_dir``/``checkpoint_interval``
+        — crash-consistent per-point snapshots with mid-run resume, see
         :func:`run_points`.
         """
         grid = self.grid()
@@ -717,6 +745,8 @@ class Sweep:
             specs, jobs=jobs, cache=cache, progress=wrapped, obs=obs,
             policy=policy, report=report, manifest=manifest,
             aggregate=aggregate, monitor=monitor,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_interval=checkpoint_interval,
         )
         points = [
             SweepPoint(tuple(overrides.items()), stats)

@@ -108,6 +108,17 @@ def _print_stats(stats) -> None:
 def cmd_run(args) -> int:
     """``repro run``: one app under one scheme, stats printed."""
     workload = _app_factory(args.app, args.procs, args.scale, args.seed)
+    checkpoint_meta = None
+    if args.checkpoint_to is not None:
+        if args.checkpoint_interval is None:
+            raise SystemExit("--checkpoint-to needs --checkpoint-interval N")
+        # everything `repro ckpt resume` needs to rebuild this run
+        checkpoint_meta = {
+            "app": args.app, "procs": args.procs, "scale": args.scale,
+            "seed": args.seed, "faults": args.faults, "strict": args.strict,
+        }
+    elif args.checkpoint_interval is not None:
+        raise SystemExit("--checkpoint-interval needs --checkpoint-to PATH")
     stats = run_workload(
         _machine(args),
         workload,
@@ -115,6 +126,9 @@ def cmd_run(args) -> int:
         strict=args.strict,
         faults=args.faults,
         invariants="strict" if args.strict else None,
+        checkpoint_path=args.checkpoint_to,
+        checkpoint_interval=args.checkpoint_interval,
+        checkpoint_meta=checkpoint_meta,
     )
     print(f"{workload.name} on {args.procs} processors, scheme {args.scheme}")
     _print_stats(stats)
@@ -174,10 +188,15 @@ def cmd_sweep(args) -> int:
 
     # supervision: any resilience flag opts the sweep into the
     # supervised (forked, liveness-monitored) execution path
-    chaos = ChaosPlan(seed=args.chaos) if args.chaos is not None else None
+    if args.chaos_midkill and args.chaos is None:
+        raise SystemExit("--chaos-midkill needs --chaos SEED")
+    chaos = None
+    if args.chaos is not None:
+        chaos = ChaosPlan(seed=args.chaos, midkill=args.chaos_midkill)
     supervise = (
         chaos is not None or args.timeout is not None
         or args.retries is not None or args.keep_going or args.resume
+        or args.ckpt_interval is not None
     )
     policy = None
     if supervise:
@@ -210,8 +229,39 @@ def cmd_sweep(args) -> int:
         )
         if args.resume:
             done = manifest.done_indices()
-            print(f"resuming sweep {manifest.sweep_key[:12]}: "
-                  f"{len(done)}/{len(keys)} points already recorded")
+            partial = manifest.partial_indices()
+            pending = len(keys) - len(done)
+            ncached = sum(
+                1 for s in manifest.statuses.values() if s == "cached"
+            )
+            line = (f"resuming sweep {manifest.sweep_key[:12]}: "
+                    f"{len(done)}/{len(keys)} points done "
+                    f"({len(done) - ncached} simulated, {ncached} cached), "
+                    f"{pending} pending")
+            if partial:
+                line += (f" ({len(partial)} resumable from mid-run "
+                         f"checkpoints)")
+            print(line)
+
+    # per-point crash-consistent snapshots (supervised forked path only)
+    checkpoint_dir = None
+    if args.ckpt_interval is not None:
+        if args.ckpt_dir:
+            checkpoint_dir = args.ckpt_dir
+        elif cache is not None and manifest is not None:
+            checkpoint_dir = str(
+                cache.root / "checkpoints" / manifest.sweep_key[:24]
+            )
+        else:
+            raise SystemExit(
+                "--ckpt-interval needs --ckpt-dir DIR (or an enabled "
+                "result cache to place checkpoints under)"
+            )
+    elif args.ckpt_dir:
+        raise SystemExit("--ckpt-dir needs --ckpt-interval N")
+    if chaos is not None and chaos.midkill and checkpoint_dir is None:
+        print("note: --chaos-midkill without --ckpt-interval degrades to "
+              "plain mid-point kills (no snapshots to resume from)")
 
     aggregate = None
     if args.obs_out:
@@ -252,6 +302,8 @@ def cmd_sweep(args) -> int:
             jobs=args.jobs, cache=cache, progress=progress,
             policy=policy, report=report, manifest=manifest,
             aggregate=aggregate, monitor=monitor,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_interval=args.ckpt_interval,
         )
     except SweepInterrupted as exc:
         print(f"\n{exc}")
@@ -279,6 +331,102 @@ def cmd_sweep(args) -> int:
         print(f"\n[{cache.summary()}]")
     if aggregate is not None:
         _write_aggregate()
+    return 0
+
+
+def cmd_ckpt(args) -> int:
+    """``repro ckpt``: inspect, verify, or resume a machine snapshot."""
+    import json
+
+    from repro.machine.checkpoint import (
+        CheckpointError,
+        load_checkpoint,
+        read_header,
+        verify_checkpoint,
+    )
+
+    if args.ckpt_cmd == "inspect":
+        header = read_header(args.path)
+        meta = header.get("meta") or {}
+        print(f"checkpoint          : {args.path}")
+        print(f"schema              : {header['schema']}")
+        print(f"workload            : {header.get('workload')}"
+              + (f" (app={meta['app']})" if "app" in meta else ""))
+        print(f"scheme              : {header.get('scheme')}")
+        print(f"simulated time      : {header.get('now'):,.0f} cycles")
+        print(f"events run          : {header.get('events_run'):,}")
+        print(f"events pending      : {header.get('events_pending'):,}")
+        print(f"payload             : {header.get('payload_bytes'):,} bytes "
+              f"(sha256 {header.get('payload_sha256', '')[:12]}...)")
+        print(f"code fingerprint    : "
+              f"{header.get('code_fingerprint', '')[:12]}...")
+        if args.config:
+            print("config:")
+            print(json.dumps(header.get("config"), indent=2, sort_keys=True))
+        return 0
+
+    if args.ckpt_cmd == "verify":
+        try:
+            header = verify_checkpoint(args.path)
+        except CheckpointError as exc:
+            print(f"FAIL: {exc}")
+            return 1
+        if not header["fingerprint_match"]:
+            print(f"STALE: {args.path} is internally consistent but was "
+                  f"written by a different build "
+                  f"({header.get('code_fingerprint', '')[:12]}...); "
+                  f"this build cannot resume it")
+            return 1
+        print(f"OK: {args.path} ({header['events_run']:,} events run, "
+              f"{header['payload_bytes']:,} payload bytes, integrity and "
+              f"fingerprint verified)")
+        return 0
+
+    # resume: rebuild the machine recorded in the header and run to
+    # completion, continuing the restored event queue mid-run
+    from repro.machine.system import DashSystem
+
+    try:
+        ckpt = load_checkpoint(args.path)
+    except CheckpointError as exc:
+        raise SystemExit(f"cannot resume: {exc}")
+    header = ckpt.header
+    meta = header.get("meta") or {}
+    if "app" not in meta:
+        raise SystemExit(
+            "cannot resume: checkpoint carries no application metadata "
+            "(it was not written by `repro run --checkpoint-to`); restore "
+            "it programmatically with repro.machine.checkpoint instead"
+        )
+    config = MachineConfig(**header["config"])
+    workload = _app_factory(
+        meta["app"], meta["procs"], meta["scale"], meta["seed"]
+    )
+    strict = bool(meta.get("strict"))
+    system = DashSystem(
+        config,
+        workload,
+        strict=strict,
+        faults=meta.get("faults"),
+        invariants="strict" if strict else None,
+    )
+    try:
+        system.restore(ckpt)
+    except CheckpointError as exc:
+        raise SystemExit(f"cannot resume: {exc}")
+    if (args.checkpoint_to is None) != (args.checkpoint_interval is None):
+        raise SystemExit(
+            "--checkpoint-to and --checkpoint-interval go together"
+        )
+    print(f"resuming {workload.name} on {config.num_processors} processors, "
+          f"scheme {header.get('scheme')} "
+          f"(at {header['events_run']:,} events, t={header['now']:,.0f})")
+    stats = system.run(
+        checkpoint_path=args.checkpoint_to,
+        checkpoint_interval=args.checkpoint_interval,
+        checkpoint_meta=(meta if args.checkpoint_to else None),
+    )
+    _print_stats(stats)
     return 0
 
 
@@ -459,6 +607,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", type=int, default=None, metavar="SEED",
                    help="inject seeded network/directory faults "
                         "(deterministic per seed)")
+    p.add_argument("--checkpoint-to", default=None, metavar="PATH",
+                   help="write a crash-consistent snapshot to PATH every "
+                        "--checkpoint-interval events")
+    p.add_argument("--checkpoint-interval", type=int, default=None,
+                   metavar="N",
+                   help="snapshot period in simulated events "
+                        "(with --checkpoint-to)")
     p.add_argument("--histogram", action="store_true",
                    help="print the invalidation distribution")
     p.set_defaults(func=cmd_run)
@@ -500,6 +655,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rerun an interrupted sweep, executing only points "
                         "the manifest/cache does not already hold "
                         "(requires a cache)")
+    p.add_argument("--ckpt-interval", type=int, default=None, metavar="N",
+                   help="per-point crash-consistent snapshots every N "
+                        "simulated events; killed/timed-out points resume "
+                        "mid-run instead of restarting")
+    p.add_argument("--ckpt-dir", default=None, metavar="DIR",
+                   help="where per-point snapshots live (default: under "
+                        "the result cache)")
+    p.add_argument("--chaos-midkill", type=float, default=0.0, metavar="P",
+                   help="chaos mode: also SIGKILL workers right after "
+                        "their first snapshot with probability P, forcing "
+                        "the checkpoint-resume path")
     p.add_argument("--chaos", type=int, default=None, metavar="SEED",
                    help="chaos harness: deterministically SIGKILL workers "
                         "and inject hung/failing points; results must "
@@ -516,6 +682,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gzip", action="store_true",
                    help="gzip the merged --obs-out trace")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "ckpt", help="inspect, verify, or resume machine snapshots"
+    )
+    ckpt_sub = p.add_subparsers(dest="ckpt_cmd", required=True)
+    q = ckpt_sub.add_parser("inspect", help="print a snapshot's header")
+    q.add_argument("path")
+    q.add_argument("--config", action="store_true",
+                   help="also dump the full machine config")
+    q.set_defaults(func=cmd_ckpt)
+    q = ckpt_sub.add_parser(
+        "verify", help="integrity- and fingerprint-check a snapshot"
+    )
+    q.add_argument("path")
+    q.set_defaults(func=cmd_ckpt)
+    q = ckpt_sub.add_parser(
+        "resume", help="continue an interrupted `repro run` from a snapshot"
+    )
+    q.add_argument("path")
+    q.add_argument("--checkpoint-to", default=None, metavar="PATH",
+                   help="keep snapshotting the resumed run to PATH")
+    q.add_argument("--checkpoint-interval", type=int, default=None,
+                   metavar="N", help="snapshot period for --checkpoint-to")
+    q.set_defaults(func=cmd_ckpt)
 
     p = sub.add_parser("compare", help="one app across several schemes")
     _add_machine_args(p)

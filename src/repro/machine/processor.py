@@ -19,10 +19,18 @@ Hot-path note: the blocking-access continuation is the bound method
 blocking reference outstanding), and frequently chased attributes
 (event queue, per-processor stats, block geometry) are bound once at
 construction — this loop dominates simulation wall time.
+
+Checkpointability: every continuation a processor hands out is a bound
+method (or a ``functools.partial`` over one carrying the block number),
+never a closure, and ``ops_consumed`` counts how far the trace stream
+has advanced so a restored processor can fast-forward a fresh stream to
+the same cursor (workload streams are restartable and oblivious by the
+:class:`~repro.trace.workload.Workload` contract).
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro.machine.stats import ProcessorStats
@@ -42,7 +50,8 @@ class Processor:
                  "stats", "done", "_outstanding_writes", "_fence",
                  "_fence_start", "_pending_blocks", "_events", "_sync",
                  "_block_bytes", "_release_consistency", "_t0", "_addr",
-                 "_is_write", "_issue_write", "_obs", "_trace_hook")
+                 "_is_write", "_issue_write", "_obs", "_trace_hook",
+                 "_sync_t0", "ops_consumed")
 
     def __init__(
         self, machine: "DashSystem", proc_id: int, stream: Iterator[TraceOp]
@@ -70,6 +79,10 @@ class Processor:
         self._t0 = 0.0
         self._addr = 0
         self._is_write = False
+        #: issue time of the one outstanding synchronization op
+        self._sync_t0 = 0.0
+        #: trace-stream cursor: ops fetched so far (checkpoint resume)
+        self.ops_consumed = 0
         self._issue_write = (
             self._issue_buffered_write
             if self._release_consistency
@@ -86,6 +99,8 @@ class Processor:
 
     def _next(self) -> None:
         op = next(self._stream, None)
+        if op is not None:
+            self.ops_consumed += 1
         if self._outstanding_writes and (
             op is None or type(op) in (Lock, Unlock, Barrier)
         ):
@@ -134,16 +149,14 @@ class Processor:
             self.stats.busy += op.cycles
             self._events.after(op.cycles, self._next)
         elif kind is Lock:
-            t0 = self._events.now
-            self._sync.lock(self.proc_id, op.lock_id, self._sync_resume(t0))
+            self._sync_t0 = self._events.now
+            self._sync.lock(self.proc_id, op.lock_id, self._sync_resume)
         elif kind is Unlock:
-            t0 = self._events.now
-            self._sync.unlock(self.proc_id, op.lock_id, self._sync_resume(t0))
+            self._sync_t0 = self._events.now
+            self._sync.unlock(self.proc_id, op.lock_id, self._sync_resume)
         elif kind is Barrier:
-            t0 = self._events.now
-            self._sync.barrier(
-                self.proc_id, op.barrier_id, self._sync_resume(t0)
-            )
+            self._sync_t0 = self._events.now
+            self._sync.barrier(self.proc_id, op.barrier_id, self._sync_resume)
         else:  # pragma: no cover - defensive
             raise TypeError(f"unknown trace op {op!r}")
 
@@ -186,31 +199,29 @@ class Processor:
             return
         self._outstanding_writes += 1
         self._pending_blocks[block] = True
-
-        def retired(t: float, local_hit: bool) -> None:
-            self._outstanding_writes -= 1
-            self._pending_blocks.pop(block, None)
-            if self._outstanding_writes == 0 and self._fence is not None:
-                self._fence_released()
-
-        self.machine.access(self, addr, True, retired)
+        self.machine.access(self, addr, True, partial(self._write_retired, block))
         self.stats.busy += WRITE_ISSUE_CYCLES
         self._events.after(WRITE_ISSUE_CYCLES, self._next)
 
-    def _sync_resume(self, t0: float):
+    def _write_retired(self, block: int, t: float, local_hit: bool) -> None:
+        """Background completion of one buffered write."""
+        self._outstanding_writes -= 1
+        self._pending_blocks.pop(block, None)
+        if self._outstanding_writes == 0 and self._fence is not None:
+            self._fence_released()
+
+    def _sync_resume(self, t: float) -> None:
+        """Continuation of the one outstanding synchronization op."""
+        t0 = self._sync_t0
+        self.stats.sync += t - t0
         obs = self._obs
-
-        def resume(t: float) -> None:
-            self.stats.sync += t - t0
-            if obs.enabled and t > t0:
-                obs.emit(
-                    "proc.sync", ts=t0, dur=t - t0, comp="proc",
-                    tid=self.proc_id,
-                )
-                obs.metrics.histogram("sync_cycles").observe(t - t0)
-            self._next()
-
-        return resume
+        if obs.enabled and t > t0:
+            obs.emit(
+                "proc.sync", ts=t0, dur=t - t0, comp="proc",
+                tid=self.proc_id,
+            )
+            obs.metrics.histogram("sync_cycles").observe(t - t0)
+        self._next()
 
 
 class _EndSentinel:

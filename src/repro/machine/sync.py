@@ -12,6 +12,13 @@ enables that behaviour for the synchronization ablation.
 
 Barriers are centralized at a home cluster: arrivals are requests, the
 last arrival triggers release replies to every participant.
+
+Every continuation scheduled here is a *bound method* (or a processor's
+bound resume) with its context passed positionally — never a closure —
+so an in-flight machine can be checkpointed: the event queue serializes
+``(component, method, args)`` descriptors, which closures cannot provide
+(see :mod:`repro.machine.checkpoint` and the ``unpicklable-continuation``
+lint rule).
 """
 
 from __future__ import annotations
@@ -69,24 +76,31 @@ class SyncManager:
         cluster = machine.cluster_of_proc(proc_id)
         machine.count_msg(MsgClass.REQUEST, cluster, home)
         arrival = machine.events.now + machine.network.leg(cluster, home)
+        machine.events.at(
+            arrival + cfg.sync_service_cycles,
+            self._lock_at_home, proc_id, lock_id, resume,
+        )
 
-        def at_home() -> None:
-            state = self._locks.setdefault(lock_id, _LockState())
-            if not state.held:
-                state.held = True
-                state.holder = proc_id
-                machine.stats.lock_acquires += 1
-                machine.count_msg(MsgClass.REPLY, home, cluster)
-                grant_time = (
-                    machine.events.now
-                    + cfg.sync_service_cycles
-                    + machine.network.leg(home, cluster)
-                )
-                machine.events.at(grant_time, lambda: resume(grant_time))
-            else:
-                state.waiters.append((proc_id, resume))
-
-        machine.events.at(arrival + cfg.sync_service_cycles, at_home)
+    def _lock_at_home(self, proc_id: int, lock_id: int, resume: Resume) -> None:
+        """The lock request reached its home cluster."""
+        machine = self.machine
+        cfg = machine.config
+        home = self.lock_home(lock_id)
+        cluster = machine.cluster_of_proc(proc_id)
+        state = self._locks.setdefault(lock_id, _LockState())
+        if not state.held:
+            state.held = True
+            state.holder = proc_id
+            machine.stats.lock_acquires += 1
+            machine.count_msg(MsgClass.REPLY, home, cluster)
+            grant_time = (
+                machine.events.now
+                + cfg.sync_service_cycles
+                + machine.network.leg(home, cluster)
+            )
+            machine.events.at(grant_time, resume, grant_time)
+        else:
+            state.waiters.append((proc_id, resume))
 
     def unlock(self, proc_id: int, lock_id: int, resume: Resume) -> None:
         """Release; the home grants the next waiter (or a whole region)."""
@@ -96,25 +110,27 @@ class SyncManager:
         cluster = machine.cluster_of_proc(proc_id)
         machine.count_msg(MsgClass.REQUEST, cluster, home)
         arrival = machine.events.now + machine.network.leg(cluster, home)
-
-        def at_home() -> None:
-            state = self._locks.setdefault(lock_id, _LockState())
-            state.held = False
-            state.holder = -1
-            if state.waiters:
-                if cfg.coarse_lock_grant:
-                    self._grant_region(lock_id, state, home)
-                else:
-                    self._grant_one(lock_id, state, home)
-
-        machine.events.at(arrival + cfg.sync_service_cycles, at_home)
+        machine.events.at(
+            arrival + cfg.sync_service_cycles, self._unlock_at_home, lock_id
+        )
         # The releaser does not wait on the network round trip.
         resume_time = machine.events.now + 1.0
-        machine.events.at(resume_time, lambda: resume(resume_time))
+        machine.events.at(resume_time, resume, resume_time)
+
+    def _unlock_at_home(self, lock_id: int) -> None:
+        """The release reached the lock's home cluster."""
+        home = self.lock_home(lock_id)
+        state = self._locks.setdefault(lock_id, _LockState())
+        state.held = False
+        state.holder = -1
+        if state.waiters:
+            if self.machine.config.coarse_lock_grant:
+                self._grant_region(lock_id, state, home)
+            else:
+                self._grant_one(lock_id, state, home)
 
     def _grant_one(self, lock_id: int, state: _LockState, home: int) -> None:
         machine = self.machine
-        cfg = machine.config
         winner_proc, winner_resume = state.waiters.popleft()
         state.held = True
         state.holder = winner_proc
@@ -122,7 +138,7 @@ class SyncManager:
         wcluster = machine.cluster_of_proc(winner_proc)
         machine.count_msg(MsgClass.REPLY, home, wcluster)
         grant_time = machine.events.now + machine.network.leg(home, wcluster)
-        machine.events.at(grant_time, lambda t=grant_time: winner_resume(t))
+        machine.events.at(grant_time, winner_resume, grant_time)
 
     def _grant_region(self, lock_id: int, state: _LockState, home: int) -> None:
         """Coarse-vector grant (§7): wake a whole region; one waiter wins.
@@ -131,7 +147,6 @@ class SyncManager:
         before they are re-queued at the home.
         """
         machine = self.machine
-        cfg = machine.config
         region = self._region_size()
         # All queued waiters in the winner's region are woken.
         winner_proc, winner_resume = state.waiters.popleft()
@@ -152,7 +167,7 @@ class SyncManager:
         wcluster = machine.cluster_of_proc(winner_proc)
         machine.count_msg(MsgClass.REPLY, home, wcluster)
         grant_time = machine.events.now + machine.network.leg(home, wcluster)
-        machine.events.at(grant_time, lambda t=grant_time: winner_resume(t))
+        machine.events.at(grant_time, winner_resume, grant_time)
 
     def _region_size(self) -> int:
         scheme = self.machine.scheme
@@ -168,24 +183,32 @@ class SyncManager:
         cluster = machine.cluster_of_proc(proc_id)
         machine.count_msg(MsgClass.REQUEST, cluster, home)
         arrival = machine.events.now + machine.network.leg(cluster, home)
+        machine.events.at(
+            arrival + cfg.sync_service_cycles,
+            self._barrier_at_home, proc_id, barrier_id, resume,
+        )
 
-        def at_home() -> None:
-            state = self._barriers.setdefault(barrier_id, _BarrierState())
-            state.arrived += 1
-            state.waiters.append((proc_id, resume))
-            machine.stats.barrier_waits += 1
-            if state.arrived == machine.config.num_processors:
-                release = machine.events.now + cfg.sync_service_cycles
-                for p, r in state.waiters:
-                    pcluster = machine.cluster_of_proc(p)
-                    machine.count_msg(MsgClass.REPLY, home, pcluster)
-                    t = release + machine.network.leg(home, pcluster)
-                    machine.events.at(t, lambda r=r, t=t: r(t))
-                # Barrier ids are not reused by our workloads, but reset
-                # defensively so a reused id behaves like a fresh barrier.
-                del self._barriers[barrier_id]
-
-        machine.events.at(arrival + cfg.sync_service_cycles, at_home)
+    def _barrier_at_home(
+        self, proc_id: int, barrier_id: int, resume: Resume
+    ) -> None:
+        """One barrier arrival reached the home cluster."""
+        machine = self.machine
+        cfg = machine.config
+        home = self.barrier_home(barrier_id)
+        state = self._barriers.setdefault(barrier_id, _BarrierState())
+        state.arrived += 1
+        state.waiters.append((proc_id, resume))
+        machine.stats.barrier_waits += 1
+        if state.arrived == machine.config.num_processors:
+            release = machine.events.now + cfg.sync_service_cycles
+            for p, r in state.waiters:
+                pcluster = machine.cluster_of_proc(p)
+                machine.count_msg(MsgClass.REPLY, home, pcluster)
+                t = release + machine.network.leg(home, pcluster)
+                machine.events.at(t, r, t)
+            # Barrier ids are not reused by our workloads, but reset
+            # defensively so a reused id behaves like a fresh barrier.
+            del self._barriers[barrier_id]
 
     # -- diagnostics ---------------------------------------------------------
 

@@ -122,6 +122,9 @@ class DashSystem:
         #: optional callable(proc_id, op, time) observing every op as it
         #: is issued — used by trace.recorder.InterleavingRecorder
         self.trace_hook = None
+        #: set by a checkpoint restore: run() continues the restored
+        #: event queue instead of (re)starting the processors
+        self._restored = False
 
     # -- construction helpers ---------------------------------------------
 
@@ -290,21 +293,103 @@ class DashSystem:
                         Transaction(HINT, vblock, cluster_id)
                     )
 
+    # -- checkpointing --------------------------------------------------------------
+
+    def checkpoint(self, path: Optional[str] = None, *, meta=None):
+        """Snapshot the live machine; atomically written when ``path`` given.
+
+        Returns the :class:`~repro.machine.checkpoint.SimCheckpoint`.
+        The snapshot is captured *before* any instrumentation is
+        emitted, so checkpoint contents never depend on how many
+        checkpoints preceded them (see the determinism contract in
+        ``docs/robustness.md``).
+        """
+        from repro.machine.checkpoint import SimCheckpoint
+
+        ckpt = SimCheckpoint.capture(self, meta=meta)
+        nbytes = len(ckpt.payload())
+        if path is not None:
+            nbytes = ckpt.save(path)
+        obs = self.obs
+        if obs.enabled:
+            obs.emit(
+                "ckpt.save", ts=self.events.now, comp="ckpt",
+                args={"bytes": nbytes, "events_run": self.events.events_run},
+            )
+            obs.metrics.counter("ckpt_saves").inc()
+            obs.metrics.counter("ckpt_bytes").inc(nbytes)
+        return ckpt
+
+    def restore(self, ckpt) -> None:
+        """Restore a checkpoint onto this freshly constructed system.
+
+        ``ckpt`` is a :class:`~repro.machine.checkpoint.SimCheckpoint`
+        (from :func:`~repro.machine.checkpoint.load_checkpoint` or a
+        live :meth:`checkpoint` call).  The next :meth:`run` continues
+        the restored event queue to completion.
+        """
+        ckpt.restore_into(self)
+        obs = self.obs
+        if obs.enabled:
+            obs.emit(
+                "ckpt.restore", ts=self.events.now, comp="ckpt",
+                args={"events_run": self.events.events_run},
+            )
+            obs.metrics.counter("ckpt_resumes").inc()
+
     # -- run loop -------------------------------------------------------------------
 
     def proc_finished(self, proc: Processor) -> None:
         """A processor drained its stream (run-loop bookkeeping)."""
         self._finished += 1
 
-    def run(self, *, max_events: Optional[int] = None) -> SimStats:
-        """Simulate to completion and return the statistics."""
-        self.processors = [
-            Processor(self, p, self.workload.stream(p))
-            for p in range(self.config.num_processors)
-        ]
-        for proc in self.processors:
-            proc.start()
-        self.events.run(max_events=max_events)
+    def run(
+        self,
+        *,
+        max_events: Optional[int] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_interval: Optional[int] = None,
+        on_checkpoint: Optional[Callable[[object], None]] = None,
+        checkpoint_meta: Optional[dict] = None,
+    ) -> SimStats:
+        """Simulate to completion and return the statistics.
+
+        ``checkpoint_path`` + ``checkpoint_interval`` snapshot the
+        machine to ``checkpoint_path`` every ``checkpoint_interval``
+        events (skipping the final drain, where the completed results
+        supersede any snapshot).  ``on_checkpoint(ckpt)`` fires after
+        each periodic snapshot is on disk — the chaos harness uses it
+        to kill the process at a moment a resumable checkpoint is
+        guaranteed to exist.  After a :meth:`restore`, ``run``
+        continues the restored queue instead of restarting.
+        """
+        if self._restored:
+            self._restored = False
+        else:
+            self.processors = [
+                Processor(self, p, self.workload.stream(p))
+                for p in range(self.config.num_processors)
+            ]
+            for proc in self.processors:
+                proc.start()
+        if checkpoint_interval is not None:
+            if checkpoint_interval < 1:
+                raise ValueError("checkpoint_interval must be >= 1")
+            if max_events is not None:
+                raise ValueError(
+                    "checkpoint_interval and max_events are exclusive"
+                )
+            events = self.events
+            while events:
+                events.run(max_events=checkpoint_interval)
+                if events:
+                    ckpt = self.checkpoint(
+                        checkpoint_path, meta=checkpoint_meta
+                    )
+                    if on_checkpoint is not None:
+                        on_checkpoint(ckpt)
+        else:
+            self.events.run(max_events=max_events)
         if self._finished != len(self.processors) and max_events is None:
             stuck = [p.proc_id for p in self.processors if not p.done]
             raise RuntimeError(
@@ -350,6 +435,9 @@ def run_workload(
     faults: Optional[Union[int, FaultPlan]] = None,
     invariants: Optional[str] = None,
     obs: Optional[Tracer] = None,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_interval: Optional[int] = None,
+    checkpoint_meta: Optional[dict] = None,
 ) -> SimStats:
     """Build a machine, run the workload, optionally verify coherence.
 
@@ -358,7 +446,9 @@ def run_workload(
     (default: sampled when faults are enabled, off otherwise);
     ``strict`` makes the first invariant violation raise immediately;
     ``obs`` — attach a :class:`~repro.obs.tracer.Tracer` to record
-    structured events and metrics (off by default, and free when off).
+    structured events and metrics (off by default, and free when off);
+    ``checkpoint_path`` + ``checkpoint_interval`` — periodic crash-
+    consistent snapshots, as documented on :meth:`DashSystem.run`.
     """
     system = DashSystem(
         config,
@@ -369,7 +459,11 @@ def run_workload(
         invariants=invariants,
         obs=obs,
     )
-    stats = system.run()
+    stats = system.run(
+        checkpoint_path=checkpoint_path,
+        checkpoint_interval=checkpoint_interval,
+        checkpoint_meta=checkpoint_meta,
+    )
     if check:
         system.check_coherence()
     return stats

@@ -53,6 +53,13 @@ EVENTS: Dict[str, str] = {
     # processors (component "proc")
     "proc.stall": "processor stalled on the memory system (span)",
     "proc.sync": "processor waited on a lock/barrier (span)",
+    # checkpointing (component "ckpt") — harness activity, not simulation
+    # state: these are excluded from captured tracer snapshots so a
+    # checkpoint's payload is independent of how many saves preceded it
+    # (wall clocks are banned in machine code, so these are instants,
+    # not spans)
+    "ckpt.save": "machine snapshot captured and written (instant)",
+    "ckpt.restore": "machine state restored from a snapshot (instant)",
     # sweep runner (component "sweep")
     "sweep.point": "one sweep grid point completed: simulated or cache-loaded (span)",
     "sweep.retry": "sweep point attempt rescheduled after a worker death, "
@@ -76,6 +83,9 @@ METRICS: Dict[str, str] = {
     "sync_cycles": "per-operation lock/barrier wait time",
     # counters
     "retries": "fault-forced request reissues observed",
+    "ckpt_saves": "machine snapshots captured by this process",
+    "ckpt_bytes": "total bytes of checkpoint data written",
+    "ckpt_resumes": "runs continued from a restored snapshot",
     "sweep_cache_hits": "sweep grid points served from the result cache",
     "sweep_cache_misses": "sweep grid points that required simulation",
     "sweep_retries": "sweep point attempts retried after worker death, "

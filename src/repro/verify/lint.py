@@ -55,6 +55,15 @@ Rules (see ``docs/verification.md`` for the full rationale):
     both ``obs/registry.py`` and the ``machine/`` layer, else a partial
     run could not see the increment sites and everything would look
     dead.
+``unpicklable-continuation``
+    Callbacks scheduled into the event queue (``events.at(...)`` /
+    ``events.after(...)``) under ``machine/`` must be bound methods of
+    machine components, not lambdas, closures, or nested functions —
+    the checkpoint serializer (``machine/checkpoint.py``) encodes heap
+    continuations as ``(component, method)`` descriptors, and an
+    anonymous callable would make the machine state unsnapshottable
+    (the encoder raises ``UnregisteredContinuationError`` at capture
+    time; this rule catches it at review time).
 ``span-leak``
     A split span opened in ``machine/`` (``.emit(..., kind=BEGIN)``)
     must have a matching close (``kind=END`` with the same literal event
@@ -96,6 +105,9 @@ LINT_RULES: Dict[str, str] = {
     "incremented somewhere (tree-wide runs only)",
     "span-leak": "a split span opened (kind=BEGIN) in machine/ needs a "
     "same-module kind=END close with the same name",
+    "unpicklable-continuation": "event-queue callbacks in machine/ must be "
+    "bound methods, not lambdas/closures (checkpointing cannot "
+    "serialize them)",
 }
 
 #: enums whose dispatch must be exhaustive, with their member names
@@ -745,6 +757,105 @@ def _check_span_leak(module: _Module) -> Iterator[Finding]:
         )
 
 
+# -- rule: unpicklable-continuation ------------------------------------------
+
+#: event-queue scheduling methods whose callback argument is serialized
+#: into checkpoints
+_SCHEDULE_METHODS = frozenset({"at", "after"})
+
+
+def _is_events_receiver(func: ast.Attribute) -> bool:
+    """``X.at(...)`` / ``X.after(...)`` where X is an event queue.
+
+    Matched structurally by name: ``events``, ``self.events``,
+    ``self._events``, ``machine.events`` — any receiver whose terminal
+    identifier mentions ``events`` or is ``queue``.  Unrelated objects
+    with ``.at``/``.after`` methods are out of scope by naming
+    convention, same as the metrics-receiver heuristic.
+    """
+    value = func.value
+    name = None
+    if isinstance(value, ast.Name):
+        name = value.id
+    elif isinstance(value, ast.Attribute):
+        name = value.attr
+    if name is None:
+        return False
+    return "events" in name or name == "queue"
+
+
+def _nested_function_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined inside another function (closures)."""
+    nested: Set[str] = set()
+
+    def walk(node: ast.AST, in_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                if in_function:
+                    nested.add(child.name)
+                walk(child, True)
+            elif isinstance(child, ast.Lambda):
+                walk(child, True)
+            else:
+                walk(child, in_function)
+
+    walk(tree, False)
+    return nested
+
+
+def _check_unpicklable_continuation(module: _Module) -> Iterator[Finding]:
+    """Lambdas/closures scheduled into the event queue in ``machine/``.
+
+    The checkpoint serializer can only encode bound methods of machine
+    components (see ``CONTINUATIONS`` in ``machine/checkpoint.py``); an
+    anonymous callable on the heap makes the whole machine state
+    unsnapshottable.  ``functools.partial`` over a bound method is fine
+    — the encoder unwraps it — so only the partial's *inner* callable
+    is inspected when one appears literally.
+    """
+    if "machine" not in Path(module.rel).parts:
+        return
+    nested = _nested_function_names(module.tree)
+    for node in ast.walk(module.tree):
+        if (
+            not isinstance(node, ast.Call)
+            or not isinstance(node.func, ast.Attribute)
+            or node.func.attr not in _SCHEDULE_METHODS
+            or not _is_events_receiver(node.func)
+            or len(node.args) < 2
+        ):
+            continue
+        callback = node.args[1]
+        # partial(f, ...) schedules f: lint the inner callable
+        if (
+            isinstance(callback, ast.Call)
+            and isinstance(callback.func, ast.Name)
+            and callback.func.id == "partial"
+            and callback.args
+        ):
+            callback = callback.args[0]
+        kind = None
+        if isinstance(callback, ast.Lambda):
+            kind = "a lambda"
+        elif isinstance(callback, ast.Name) and callback.id in nested:
+            kind = f"nested function {callback.id!r}"
+        if kind is None or _suppressed(
+            module, node.lineno, "unpicklable-continuation"
+        ):
+            continue
+        yield Finding(
+            str(module.path),
+            node.lineno,
+            node.col_offset,
+            "unpicklable-continuation",
+            f"{kind} scheduled into the event queue cannot be "
+            f"checkpointed; use a bound method of a machine component "
+            f"(registered in machine/checkpoint.py CONTINUATIONS)",
+        )
+
+
 # -- rule: dead-metric -------------------------------------------------------
 
 
@@ -890,6 +1001,7 @@ def run_lint(paths: Iterable[str]) -> List[Finding]:
         findings.extend(_check_nondeterminism(module))
         findings.extend(_check_unordered_iteration(module))
         findings.extend(_check_span_leak(module))
+        findings.extend(_check_unpicklable_continuation(module))
         if declared is not None:
             findings.extend(_check_undeclared_stat(module, declared))
         if obs_names is not None:

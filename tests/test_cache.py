@@ -174,6 +174,23 @@ class TestOrphanSweep:
         assert stale.exists()
         assert cache.counters()["orphans"] == 0
 
+    def test_checkpoint_temp_files_are_swept_but_snapshots_kept(self, tmp_path):
+        """A worker SIGKILLed mid-snapshot leaks ``pointNNNNN.ckpt.tmp``
+        under ``<root>/checkpoints/``; the sweep collects it while the
+        committed ``.ckpt`` beside it — the resume point — survives."""
+        ckpt_dir = tmp_path / "checkpoints" / "abcd1234"  # nested like the CLI
+        ckpt_dir.mkdir(parents=True)
+        snapshot = ckpt_dir / "point00003.ckpt"
+        snapshot.write_bytes(b"committed snapshot")
+        torn = ckpt_dir / "point00003.ckpt.tmp"
+        torn.write_bytes(b"half-written")
+        old = time.time() - 7200
+        os.utime(torn, (old, old))
+        cache = ResultCache(tmp_path)
+        assert not torn.exists()
+        assert snapshot.exists()
+        assert cache.counters()["orphans"] == 1
+
     def test_orphans_never_shadow_entries(self, tmp_path):
         """An orphaned temp file beside a valid entry does not affect reads."""
         cache = ResultCache(tmp_path)

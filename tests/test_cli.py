@@ -208,7 +208,7 @@ class TestSweep:
         code, out = run_cli(capsys, *argv, "--resume")
         assert code == 0
         assert "resuming sweep" in out
-        assert "2/2 points already recorded" in out
+        assert "2/2 points done (2 simulated, 0 cached), 0 pending" in out
         assert "2 hits" in out
 
     def test_bad_axis_rejected(self, capsys):
@@ -239,3 +239,65 @@ class TestProfile:
         assert code == 0
         assert "50 events" in out  # the cap bound the run
         assert out_path.is_file()
+
+
+class TestCkpt:
+    def _write(self, capsys, tmp_path, interval="50"):
+        path = str(tmp_path / "run.ckpt")
+        code, out = run_cli(capsys, "run", "--app", "MP3D", *SMALL,
+                            "--seed", "3", "--checkpoint-to", path,
+                            "--checkpoint-interval", interval)
+        assert code == 0
+        return path, out
+
+    def test_run_checkpoint_flags_must_pair(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="needs --checkpoint-interval"):
+            run_cli(capsys, "run", "--app", "MP3D", *SMALL,
+                    "--checkpoint-to", str(tmp_path / "x.ckpt"))
+        with pytest.raises(SystemExit, match="needs --checkpoint-to"):
+            run_cli(capsys, "run", "--app", "MP3D", *SMALL,
+                    "--checkpoint-interval", "100")
+
+    def test_inspect_prints_header(self, capsys, tmp_path):
+        path, _ = self._write(capsys, tmp_path)
+        code, out = run_cli(capsys, "ckpt", "inspect", path, "--config")
+        assert code == 0
+        assert "events run" in out
+        assert "app=MP3D" in out
+        assert '"seed": 3' in out  # --config dumps the machine config
+
+    def test_verify_passes_on_intact_file(self, capsys, tmp_path):
+        path, _ = self._write(capsys, tmp_path)
+        code, out = run_cli(capsys, "ckpt", "verify", path)
+        assert code == 0
+        assert out.startswith("OK:")
+        assert "fingerprint verified" in out
+
+    def test_verify_fails_on_corruption(self, capsys, tmp_path):
+        path, _ = self._write(capsys, tmp_path)
+        data = bytearray(open(path, "rb").read())
+        data[-5] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        code, out = run_cli(capsys, "ckpt", "verify", path)
+        assert code == 1
+        assert out.startswith("FAIL:")
+
+    def test_resume_reproduces_the_full_run(self, capsys, tmp_path):
+        """`ckpt resume` rebuilds the machine from header metadata and
+        finishes with exactly the stats of the uninterrupted run."""
+        path, full = self._write(capsys, tmp_path)
+        code, out = run_cli(capsys, "ckpt", "resume", path)
+        assert code == 0
+        assert out.splitlines()[0].startswith("resuming MP3D on 4 processors")
+        # identical stats block (both outputs lead with one banner line)
+        assert out.splitlines()[1:] == full.splitlines()[1:]
+
+    def test_sweep_ckpt_flags_validation(self, capsys, tmp_path):
+        with pytest.raises(SystemExit, match="--ckpt-interval"):
+            run_cli(capsys, "sweep", "--app", "MP3D", *SMALL,
+                    "--axis", "scheme=full", "--no-cache",
+                    "--ckpt-dir", str(tmp_path))
+        with pytest.raises(SystemExit, match="--chaos"):
+            run_cli(capsys, "sweep", "--app", "MP3D", *SMALL,
+                    "--axis", "scheme=full", "--no-cache",
+                    "--chaos-midkill", "0.5")

@@ -550,6 +550,7 @@ def test_every_rule_has_a_catalog_entry():
         "undeclared-obs-name",
         "dead-metric",
         "span-leak",
+        "unpicklable-continuation",
     }
 
 
@@ -649,6 +650,86 @@ def test_span_leak_suppression(tmp_path):
             "def service(self, obs):\n"
             "    obs.emit('dir.service', ts=1.0, kind='begin')"
             "  # lint: ignore[span-leak]\n"
+        ),
+    })
+    assert findings == []
+
+
+# -- unpicklable-continuation -----------------------------------------------
+
+
+def test_lambda_continuation_is_flagged(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/network.py": (
+            "def send(self, msg):\n"
+            "    self.events.after(1.0, lambda: self.deliver(msg))\n"
+        ),
+    })
+    assert _rules(findings) == ["unpicklable-continuation"]
+    assert "lambda" in findings[0].message
+    assert "CONTINUATIONS" in findings[0].message
+
+
+def test_nested_function_continuation_is_flagged(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/directory.py": (
+            "def service(self):\n"
+            "    def finish():\n"
+            "        self.done()\n"
+            "    self.events.at(2.0, finish)\n"
+        ),
+    })
+    assert _rules(findings) == ["unpicklable-continuation"]
+    assert "finish" in findings[0].message
+
+
+def test_partial_over_lambda_is_flagged(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/cluster.py": (
+            "def kick(self, events):\n"
+            "    events.after(1.0, partial(lambda m: m.step(), self))\n"
+        ),
+    })
+    assert _rules(findings) == ["unpicklable-continuation"]
+
+
+def test_bound_method_continuation_is_clean(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/network.py": (
+            "def send(self, msg):\n"
+            "    self.events.after(1.0, self.deliver, msg)\n"
+            "    self.events.at(2.0, partial(self.deliver, msg))\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_continuation_rule_only_polices_the_machine_layer(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "analysis/replay.py": (
+            "def f(events):\n"
+            "    events.after(1.0, lambda: None)\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_non_event_queue_receivers_are_out_of_scope(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/scheduler.py": (
+            "def f(calendar):\n"
+            "    calendar.at(1.0, lambda: None)\n"
+        ),
+    })
+    assert findings == []
+
+
+def test_continuation_suppression(tmp_path):
+    findings = _lint_tree(tmp_path, {
+        "machine/network.py": (
+            "def send(self, msg):\n"
+            "    self.events.after(1.0, lambda: None)"
+            "  # lint: ignore[unpicklable-continuation]\n"
         ),
     })
     assert findings == []
